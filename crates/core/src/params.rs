@@ -1,0 +1,158 @@
+//! Selection parameters: the paper's "few intuitive high level parameters".
+
+/// Parameters of the aggregate-advantage model and the selection process.
+///
+/// These are exactly the inputs the paper's p-thread selection tool takes
+/// (§4.1): processor sequencing width and memory latency, the unassisted
+/// program IPC, and the p-thread construction constraints (maximum length,
+/// optimization/merging switches). The slicing scope constrains the slicer
+/// upstream ([`preexec_slice::SliceForestBuilder`]) and is recorded here
+/// for reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionParams {
+    /// Sequencing (fetch) width of the processor, `BW_seq`. Paper: 8.
+    pub bw_seq: f64,
+    /// Unassisted main-thread IPC of the sample, used to estimate the main
+    /// thread's effective sequencing rate.
+    pub ipc: f64,
+    /// `L_cm`: the miss latency a p-thread can usefully tolerate, in
+    /// cycles. Paper: 70-cycle memory (plus L2 access seen by the core).
+    pub miss_latency: f64,
+    /// Maximum p-thread body length, applied *after* optimization.
+    /// Paper default: 32.
+    pub max_pthread_len: usize,
+    /// Slicing scope used upstream (recorded for reports). Paper: 1024.
+    pub slicing_scope: usize,
+    /// Apply p-thread optimization (store–load elimination, constant
+    /// folding, move elimination) before scoring.
+    pub optimize: bool,
+    /// Merge selected p-threads with matching dataflow prefixes.
+    pub merge: bool,
+}
+
+impl SelectionParams {
+    /// `BW_seq-mt`: the main thread's expected sequencing rate — "the
+    /// average of the unassisted main thread IPC and the sequencing width
+    /// of the processor, weighted 2-to-1 in favor of the IPC" (§3.1).
+    ///
+    /// ```
+    /// use preexec_core::SelectionParams;
+    /// let p = SelectionParams { bw_seq: 4.0, ipc: 1.0, ..SelectionParams::default() };
+    /// assert_eq!(p.bw_seq_mt(), 2.0); // the paper's working example
+    /// ```
+    pub fn bw_seq_mt(&self) -> f64 {
+        (2.0 * self.ipc + self.bw_seq) / 3.0
+    }
+
+    /// Overhead per p-thread instruction: sequencing cost `1 / BW_seq`
+    /// discounted by expected main-thread utilization `BW_seq-mt / BW_seq`
+    /// (§3.1, Equation 4).
+    ///
+    /// ```
+    /// use preexec_core::SelectionParams;
+    /// let p = SelectionParams { bw_seq: 4.0, ipc: 1.0, ..SelectionParams::default() };
+    /// assert_eq!(p.oh_per_inst(), 0.125); // the paper's working example
+    /// ```
+    pub fn oh_per_inst(&self) -> f64 {
+        (1.0 / self.bw_seq) * (self.bw_seq_mt() / self.bw_seq)
+    }
+
+    /// The paper's working-example configuration (§3.1): 4-wide processor,
+    /// IPC 1, 8-cycle miss latency, p-threads shorter than 8 instructions.
+    pub fn working_example() -> SelectionParams {
+        SelectionParams {
+            bw_seq: 4.0,
+            ipc: 1.0,
+            miss_latency: 8.0,
+            max_pthread_len: 7,
+            slicing_scope: 40,
+            optimize: false,
+            merge: false,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any quantity is non-positive, non-finite, or if the IPC
+    /// exceeds the sequencing width.
+    pub fn validate(&self) {
+        assert!(
+            self.bw_seq.is_finite() && self.bw_seq > 0.0,
+            "bw_seq must be positive"
+        );
+        assert!(
+            self.ipc.is_finite() && self.ipc > 0.0 && self.ipc <= self.bw_seq,
+            "ipc must be in (0, bw_seq]"
+        );
+        assert!(
+            self.miss_latency.is_finite() && self.miss_latency > 0.0,
+            "miss_latency must be positive"
+        );
+        assert!(self.max_pthread_len > 0, "max_pthread_len must be positive");
+    }
+}
+
+impl Default for SelectionParams {
+    /// The paper's default evaluation configuration: 8-wide, 70-cycle
+    /// memory, 32-instruction p-threads from 1024-instruction scopes, with
+    /// optimization and merging on. `ipc` defaults to 1.0 and should be
+    /// set from an unassisted timing run of the sample.
+    fn default() -> SelectionParams {
+        SelectionParams {
+            bw_seq: 8.0,
+            ipc: 1.0,
+            miss_latency: 70.0,
+            max_pthread_len: 32,
+            slicing_scope: 1024,
+            optimize: true,
+            merge: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_example_rates() {
+        let p = SelectionParams::working_example();
+        assert_eq!(p.bw_seq_mt(), 2.0);
+        assert_eq!(p.oh_per_inst(), 0.125);
+    }
+
+    #[test]
+    fn default_rates() {
+        let p = SelectionParams::default();
+        // (2*1 + 8)/3 = 10/3
+        assert!((p.bw_seq_mt() - 10.0 / 3.0).abs() < 1e-12);
+        assert!(p.oh_per_inst() > 0.0);
+    }
+
+    #[test]
+    fn higher_ipc_means_higher_overhead() {
+        let lo = SelectionParams { ipc: 1.0, ..SelectionParams::default() };
+        let hi = SelectionParams { ipc: 4.0, ..SelectionParams::default() };
+        assert!(hi.oh_per_inst() > lo.oh_per_inst());
+    }
+
+    #[test]
+    fn validate_accepts_defaults() {
+        SelectionParams::default().validate();
+        SelectionParams::working_example().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ipc")]
+    fn validate_rejects_zero_ipc() {
+        SelectionParams { ipc: 0.0, ..SelectionParams::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ipc")]
+    fn validate_rejects_ipc_above_width() {
+        SelectionParams { ipc: 9.0, ..SelectionParams::default() }.validate();
+    }
+}

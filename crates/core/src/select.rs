@@ -1,0 +1,399 @@
+//! P-thread selection: per-slice (§3.1) and whole-tree with overlap
+//! correction (§3.2), plus the forest-level driver.
+
+use crate::advantage::aggregate_advantage;
+use crate::{
+    candidate_body, merge_pthreads, optimize_body, Advantage, Body, SelectionParams,
+    SelectionPrediction, StaticPThread,
+};
+use preexec_isa::Pc;
+use preexec_slice::{NodeId, SliceForest, SliceTree};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A scored candidate: its advantage calculation and the body the p-thread
+/// will execute (optimized if optimization is enabled).
+#[derive(Debug, Clone)]
+pub struct ScoredCandidate {
+    /// The advantage calculation (before any overlap reduction).
+    pub advantage: Advantage,
+    /// The executable body.
+    pub exec_body: Body,
+}
+
+/// The result of selection over a whole slice forest.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// The selected (and possibly merged) static p-threads.
+    pub pthreads: Vec<StaticPThread>,
+    /// The framework's diagnostic predictions for this set.
+    pub prediction: SelectionPrediction,
+}
+
+/// Scores the candidate p-thread triggered at `node`, or returns `None`
+/// when the candidate is illegal (too long after optimization) or scores
+/// zero/negative structurally (empty body).
+fn score_node(
+    tree: &SliceTree,
+    node: NodeId,
+    dc_trig: u64,
+    params: &SelectionParams,
+) -> Option<ScoredCandidate> {
+    let main_body = candidate_body(tree, node);
+    if main_body.is_empty() {
+        return None;
+    }
+    let exec_body = if params.optimize {
+        optimize_body(&main_body)
+    } else {
+        main_body.clone()
+    };
+    if exec_body.is_empty() || exec_body.len() > params.max_pthread_len {
+        return None;
+    }
+    let advantage = aggregate_advantage(
+        params,
+        &exec_body,
+        &main_body,
+        dc_trig,
+        tree.node(node).dc_ptcm,
+    );
+    Some(ScoredCandidate { advantage, exec_body })
+}
+
+/// Solves one slice tree: selects the set of p-threads whose
+/// overlap-corrected aggregate advantages sum to a maximum, using the
+/// paper's iterative procedure — select the best candidate per leaf
+/// independently, reduce the advantage of any selected p-thread that is an
+/// ancestor of another selected p-thread (the double-tolerated latency,
+/// `DC_pt-cm(child) · LT(parent)`), and reselect until stable.
+///
+/// Returns `(node, scored, net_advantage)` triples.
+pub fn solve_tree(
+    tree: &SliceTree,
+    dc_trig_of: &dyn Fn(Pc) -> u64,
+    params: &SelectionParams,
+) -> Vec<(NodeId, ScoredCandidate, f64)> {
+    // Memoized candidate scores.
+    let mut scores: HashMap<NodeId, Option<ScoredCandidate>> = HashMap::new();
+    let score = |node: NodeId, scores: &mut HashMap<NodeId, Option<ScoredCandidate>>| {
+        scores
+            .entry(node)
+            .or_insert_with(|| score_node(tree, node, dc_trig_of(tree.node(node).pc), params))
+            .clone()
+    };
+
+    let leaves = tree.leaves();
+    let mut reductions: HashMap<NodeId, f64> = HashMap::new();
+    let mut selected: BTreeSet<NodeId> = BTreeSet::new();
+
+    for _round in 0..32 {
+        let mut next: BTreeSet<NodeId> = BTreeSet::new();
+        for &leaf in &leaves {
+            let path = tree.path_from_root(leaf);
+            let mut best: Option<(NodeId, f64)> = None;
+            for &node in path.iter().skip(1) {
+                if let Some(sc) = score(node, &mut scores) {
+                    let net = sc.advantage.adv_agg - reductions.get(&node).copied().unwrap_or(0.0);
+                    // Ties go to the deeper candidate: with optimization,
+                    // unrolled bodies often fold to the same size and both
+                    // saturate LT at L_cm, and the deeper trigger buys
+                    // lookahead slack at no modeled cost (cf. the paper's
+                    // observation that over-specifying latency compensates
+                    // for unmodeled bus contention).
+                    if net > 0.0 && best.is_none_or(|(_, b)| net >= b) {
+                        best = Some((node, net));
+                    }
+                }
+            }
+            if let Some((node, _)) = best {
+                next.insert(node);
+            }
+        }
+        // Recompute reductions for the new set: each selected node with a
+        // selected proper ancestor double-tolerates its misses at the
+        // ancestor's (lower) per-miss latency tolerance. Using the closest
+        // selected ancestor chains the corrections up the tree.
+        let mut new_reductions: HashMap<NodeId, f64> = HashMap::new();
+        for &c in &next {
+            if let Some(p) = closest_selected_ancestor(tree, c, &next) {
+                if let Some(psc) = score(p, &mut scores) {
+                    *new_reductions.entry(p).or_insert(0.0) +=
+                        tree.node(c).dc_ptcm as f64 * psc.advantage.lt;
+                }
+            }
+        }
+        let stable = next == selected && !reductions_differ(&reductions, &new_reductions);
+        selected = next;
+        reductions = new_reductions;
+        if stable {
+            break;
+        }
+    }
+
+    selected
+        .into_iter()
+        .filter_map(|node| {
+            let sc = score(node, &mut scores)?;
+            let net = sc.advantage.adv_agg - reductions.get(&node).copied().unwrap_or(0.0);
+            if net > 0.0 {
+                Some((node, sc, net))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn closest_selected_ancestor(
+    tree: &SliceTree,
+    node: NodeId,
+    selected: &BTreeSet<NodeId>,
+) -> Option<NodeId> {
+    let mut cur = tree.node(node).parent;
+    while let Some(p) = cur {
+        if selected.contains(&p) {
+            return Some(p);
+        }
+        cur = tree.node(p).parent;
+    }
+    None
+}
+
+fn reductions_differ(a: &HashMap<NodeId, f64>, b: &HashMap<NodeId, f64>) -> bool {
+    if a.len() != b.len() {
+        return true;
+    }
+    a.iter()
+        .any(|(k, v)| b.get(k).is_none_or(|w| (v - w).abs() > 1e-9))
+}
+
+/// Runs selection over every slice tree in the forest and returns the
+/// selected p-threads with the framework's aggregate predictions.
+///
+/// Per the paper (§3.2), the program-level problem is divided into one
+/// sub-problem per static problem load (trees never overlap by
+/// construction); each tree is solved with [`solve_tree`]; and if
+/// merging is enabled, selected p-threads sharing a trigger are merged.
+///
+/// # Panics
+///
+/// Panics if `params` fail validation (see
+/// [`SelectionParams::validate`]).
+pub fn select_pthreads(forest: &SliceForest, params: &SelectionParams) -> Selection {
+    params.validate();
+    let mut pthreads: Vec<StaticPThread> = Vec::new();
+    let mut misses_covered: u64 = 0;
+    let mut misses_fully_covered: u64 = 0;
+    let mut lt_agg = 0.0;
+    let mut oh_agg = 0.0;
+    let mut adv_agg = 0.0;
+
+    for (target_pc, tree) in forest.trees() {
+        let picks = solve_tree(tree, &|pc| forest.dc_trig(pc), params);
+        let selected: BTreeSet<NodeId> = picks.iter().map(|(n, _, _)| *n).collect();
+        let full: BTreeMap<NodeId, bool> = picks
+            .iter()
+            .map(|(n, sc, _)| (*n, sc.advantage.full_coverage))
+            .collect();
+        for (node, sc, net) in picks {
+            let n = tree.node(node);
+            // Coverage union: count a node's misses unless a selected
+            // ancestor already counts them.
+            let has_sel_anc = closest_selected_ancestor(tree, node, &selected).is_some();
+            if !has_sel_anc {
+                misses_covered += n.dc_ptcm;
+            }
+            if sc.advantage.full_coverage {
+                // Count fully covered misses not already fully covered by
+                // a selected full-coverage ancestor.
+                let anc_full = {
+                    let mut cur = tree.node(node).parent;
+                    let mut found = false;
+                    while let Some(p) = cur {
+                        if selected.contains(&p) && full.get(&p).copied().unwrap_or(false) {
+                            found = true;
+                            break;
+                        }
+                        cur = tree.node(p).parent;
+                    }
+                    found
+                };
+                if !anc_full {
+                    misses_fully_covered += n.dc_ptcm;
+                }
+            }
+            lt_agg += sc.advantage.lt_agg - (sc.advantage.adv_agg - net);
+            oh_agg += sc.advantage.oh_agg;
+            adv_agg += net;
+            pthreads.push(StaticPThread {
+                trigger: n.pc,
+                targets: vec![target_pc],
+                body: sc.exec_body.to_insts(),
+                dc_trig: forest.dc_trig(n.pc),
+                dc_ptcm: n.dc_ptcm,
+                advantage: Advantage { adv_agg: net, ..sc.advantage },
+            });
+        }
+    }
+
+    if params.merge {
+        let before_oh: f64 = pthreads.iter().map(|p| p.advantage.oh_agg).sum();
+        pthreads = merge_pthreads(pthreads, params);
+        let after_oh: f64 = pthreads.iter().map(|p| p.advantage.oh_agg).sum();
+        adv_agg += before_oh - after_oh;
+        oh_agg = after_oh;
+    }
+
+    let launches: u64 = pthreads.iter().map(|p| p.dc_trig).sum();
+    let weighted_len: f64 = pthreads
+        .iter()
+        .map(|p| p.dc_trig as f64 * p.size() as f64)
+        .sum();
+    let prediction = SelectionPrediction {
+        num_static: pthreads.len(),
+        launches,
+        avg_pthread_len: if launches == 0 { 0.0 } else { weighted_len / launches as f64 },
+        misses_covered,
+        misses_fully_covered,
+        lt_agg,
+        oh_agg,
+        adv_agg,
+        bw_seq: params.bw_seq,
+    };
+    Selection { pthreads, prediction }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_func::{run_trace, TraceConfig};
+    use preexec_isa::assemble;
+    use preexec_slice::SliceForestBuilder;
+
+    fn forest_for(src: &str) -> SliceForest {
+        let p = assemble("t", src).unwrap();
+        let mut b = SliceForestBuilder::new(1024, 32);
+        run_trace(&p, &TraceConfig::default(), |d| b.observe(d));
+        b.finish()
+    }
+
+    /// A streaming loop: every iteration's load misses (64 B stride).
+    const STREAM: &str = "
+        li r1, 0x100000
+        li r2, 0
+        li r3, 4096
+    top:
+        bge r2, r3, done
+        ld  r4, 0(r1)
+        addi r1, r1, 64
+        addi r2, r2, 1
+        j top
+    done:
+        halt";
+
+    #[test]
+    fn selects_induction_unrolled_pthread_for_stream() {
+        let forest = forest_for(STREAM);
+        let params = SelectionParams {
+            ipc: 2.0,
+            miss_latency: 70.0,
+            optimize: false,
+            merge: false,
+            ..SelectionParams::default()
+        };
+        let sel = select_pthreads(&forest, &params);
+        assert!(!sel.pthreads.is_empty());
+        // The dominant p-thread (covering the steady-state misses) is
+        // triggered by the induction addi (pc 5) and unrolls it.
+        let p = sel
+            .pthreads
+            .iter()
+            .max_by_key(|p| p.dc_ptcm)
+            .expect("nonempty");
+        assert_eq!(p.trigger, 5);
+        assert!(p.body.iter().filter(|i| i.op == preexec_isa::Op::Addi).count() >= 2);
+        assert!(p.body.last().unwrap().op.is_load());
+        assert!(sel.prediction.misses_covered > 0);
+        assert!(sel.prediction.adv_agg > 0.0);
+    }
+
+    #[test]
+    fn optimization_shortens_selected_bodies() {
+        let forest = forest_for(STREAM);
+        let base = SelectionParams {
+            ipc: 2.0,
+            merge: false,
+            optimize: false,
+            ..SelectionParams::default()
+        };
+        let opt = SelectionParams { optimize: true, ..base };
+        let s0 = select_pthreads(&forest, &base);
+        let s1 = select_pthreads(&forest, &opt);
+        let len0 = s0.prediction.avg_pthread_len;
+        let len1 = s1.prediction.avg_pthread_len;
+        assert!(
+            len1 < len0,
+            "optimized bodies should be shorter: {len1} vs {len0}"
+        );
+        // Same or better predicted advantage.
+        assert!(s1.prediction.adv_agg >= s0.prediction.adv_agg - 1e-6);
+    }
+
+    #[test]
+    fn tight_length_constraint_reduces_coverage() {
+        let forest = forest_for(STREAM);
+        let loose = SelectionParams { ipc: 2.0, optimize: false, merge: false, ..SelectionParams::default() };
+        let tight = SelectionParams { max_pthread_len: 2, ..loose };
+        let sl = select_pthreads(&forest, &loose);
+        let st = select_pthreads(&forest, &tight);
+        // Short p-threads tolerate less latency per miss.
+        let lt_loose = sl.pthreads.iter().map(|p| p.advantage.lt).fold(0.0, f64::max);
+        let lt_tight = st.pthreads.iter().map(|p| p.advantage.lt).fold(0.0, f64::max);
+        assert!(lt_tight <= lt_loose);
+    }
+
+    #[test]
+    fn higher_latency_selects_longer_pthreads() {
+        let forest = forest_for(STREAM);
+        let base = SelectionParams { ipc: 2.0, optimize: false, merge: false, ..SelectionParams::default() };
+        let lo = SelectionParams { miss_latency: 20.0, ..base };
+        let hi = SelectionParams { miss_latency: 140.0, ..base };
+        let s_lo = select_pthreads(&forest, &lo);
+        let s_hi = select_pthreads(&forest, &hi);
+        assert!(
+            s_hi.prediction.avg_pthread_len >= s_lo.prediction.avg_pthread_len,
+            "longer latency should need longer p-threads: {} vs {}",
+            s_hi.prediction.avg_pthread_len,
+            s_lo.prediction.avg_pthread_len
+        );
+    }
+
+    #[test]
+    fn cache_resident_loop_covers_at_most_the_cold_miss() {
+        // Cache-resident loop: one cold miss only. The model may select a
+        // cheap one-shot p-thread for it (its trigger executes once, so
+        // overhead is negligible), but nothing that launches per-iteration
+        // can be profitable.
+        let forest = forest_for(
+            "li r1, 0x4000\n li r2, 0\n li r3, 100\n\
+             top: bge r2, r3, done\n ld r4, 0(r1)\n addi r2, r2, 1\n j top\n done: halt",
+        );
+        let params = SelectionParams { ipc: 2.0, ..SelectionParams::default() };
+        let sel = select_pthreads(&forest, &params);
+        assert!(sel.prediction.misses_covered <= 1);
+        assert!(sel.prediction.launches <= 1);
+    }
+
+    #[test]
+    fn prediction_consistency() {
+        let forest = forest_for(STREAM);
+        let params = SelectionParams { ipc: 2.0, ..SelectionParams::default() };
+        let sel = select_pthreads(&forest, &params);
+        let p = &sel.prediction;
+        assert_eq!(p.num_static, sel.pthreads.len());
+        assert!((p.adv_agg - (p.lt_agg - p.oh_agg)).abs() < 1e-6);
+        assert!(p.misses_fully_covered <= p.misses_covered);
+        assert!(p.misses_covered <= forest.total_misses());
+        assert!(p.avg_pthread_len <= params.max_pthread_len as f64);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests on the model's mathematical structure: SCDH and
+//! aggregate-advantage monotonicities the paper's arguments rely on.
+
+use preexec_core::advantage::aggregate_advantage;
+use preexec_core::{scdh, Body, BodyInst, SelectionParams};
+use preexec_isa::{Inst, Op, Reg};
+use proptest::prelude::*;
+
+/// A random dependence-chain body ending in a load, with non-decreasing
+/// main-thread distances that respect physical spacing.
+fn body_strategy() -> impl Strategy<Value = Body> {
+    prop::collection::vec((0u8..3, 1u64..16), 0..20).prop_map(|chain| {
+        let mut insts = Vec::new();
+        let mut dist = 0u64;
+        let n = chain.len();
+        for (i, (kind, gap)) in chain.into_iter().enumerate() {
+            dist += gap;
+            let inst = match kind {
+                0 => Inst::itype(Op::Addi, Reg::new(1), Reg::new(1), 8),
+                1 => Inst::rtype(Op::Mul, Reg::new(1), Reg::new(1), Reg::new(1)),
+                _ => Inst::itype(Op::Sll, Reg::new(1), Reg::new(1), 1),
+            };
+            let deps = if i == 0 { vec![] } else { vec![i - 1] };
+            insts.push(BodyInst { inst, deps, mt_dist: dist as f64 });
+        }
+        dist += 1;
+        let deps = if n == 0 { vec![] } else { vec![n - 1] };
+        insts.push(BodyInst {
+            inst: Inst::load(Op::Ld, Reg::new(2), Reg::new(1), 0),
+            deps,
+            mt_dist: dist as f64,
+        });
+        Body::new(insts)
+    })
+}
+
+fn params() -> SelectionParams {
+    SelectionParams { ipc: 2.0, ..SelectionParams::default() }
+}
+
+proptest! {
+    /// SCDH is at least the dataflow height (every instruction ≥ 1 cycle
+    /// on the chain) and at least the sequencing bound of the last
+    /// instruction.
+    #[test]
+    fn scdh_lower_bounds(body in body_strategy()) {
+        let h = scdh::scdh_pthread(&body);
+        // The chain is fully dependent: height ≥ number of instructions.
+        prop_assert!(h >= body.len() as f64);
+        let mt = scdh::scdh_main(&body, 2.0);
+        let last_sc = body.insts().last().unwrap().mt_dist / 2.0;
+        prop_assert!(mt >= last_sc);
+    }
+
+    /// The p-thread never loses to the main thread on the same dense
+    /// chain: SCDH_pt ≤ SCDH_mt whenever main-thread distances are at
+    /// least the body positions (true of every real slice).
+    #[test]
+    fn pthread_at_least_as_fast(body in body_strategy()) {
+        prop_assume!(body
+            .insts()
+            .iter()
+            .enumerate()
+            .all(|(i, bi)| bi.mt_dist >= i as f64));
+        let pt = scdh::scdh_pthread(&body);
+        let mt = scdh::scdh_main(&body, params().bw_seq_mt());
+        prop_assert!(pt <= mt + 1e-9, "pt {pt} > mt {mt}");
+    }
+
+    /// Aggregate advantage decomposes: ADV = LTagg − OHagg, LT is capped
+    /// and non-negative, overhead is linear in launches.
+    #[test]
+    fn advantage_structure(
+        body in body_strategy(),
+        dc_trig in 1u64..10_000,
+        dc_ptcm in 0u64..10_000,
+    ) {
+        let p = params();
+        let a = aggregate_advantage(&p, &body, &body, dc_trig, dc_ptcm);
+        prop_assert!(a.lt >= 0.0 && a.lt <= p.miss_latency);
+        prop_assert!((a.adv_agg - (a.lt_agg - a.oh_agg)).abs() < 1e-9);
+        prop_assert!((a.lt_agg - a.lt * dc_ptcm as f64).abs() < 1e-9);
+        let double = aggregate_advantage(&p, &body, &body, dc_trig * 2, dc_ptcm);
+        prop_assert!((double.oh_agg - 2.0 * a.oh_agg).abs() < 1e-6);
+    }
+
+    /// More useful instances never decrease the score; more useless
+    /// launches never increase it.
+    #[test]
+    fn advantage_monotonicity(body in body_strategy(), dc in 1u64..5_000) {
+        let p = params();
+        let lo = aggregate_advantage(&p, &body, &body, dc, dc / 2);
+        let hi = aggregate_advantage(&p, &body, &body, dc, dc);
+        prop_assert!(hi.adv_agg >= lo.adv_agg - 1e-9);
+        let more_launches = aggregate_advantage(&p, &body, &body, dc * 3, dc / 2);
+        prop_assert!(more_launches.adv_agg <= lo.adv_agg + 1e-9);
+    }
+
+    /// Full coverage is claimed exactly when LT reaches the miss latency.
+    #[test]
+    fn full_coverage_definition(body in body_strategy()) {
+        let p = params();
+        let a = aggregate_advantage(&p, &body, &body, 10, 10);
+        prop_assert_eq!(a.full_coverage, a.lt >= p.miss_latency);
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 4 (slicing scope x p-thread length).
+//!
+//! Usage: `fig4 [budget]` — per-benchmark instruction budget
+//! (default 300_000).
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
+    print!("{}", preexec_experiments::figures::fig4(budget).render());
+}

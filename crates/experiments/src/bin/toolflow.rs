@@ -1,0 +1,54 @@
+//! The paper's decoupled toolflow (§4.1): the functional cache simulator
+//! writes slice trees to a file once; the p-thread selection tool then
+//! reads the file and generates p-thread sets for several machine
+//! configurations quickly, without re-tracing.
+//!
+//! Usage: `toolflow [workload] [budget] [out.slices]`
+
+use preexec_core::{select_pthreads, SelectionParams};
+use preexec_experiments::pipeline::trace_and_slice_warm;
+use preexec_slice::{read_forest, write_forest};
+use preexec_workloads::{suite, InputSet};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "vpr.r".to_string());
+    let budget: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(150_000);
+    let path = args.next().unwrap_or_else(|| format!("{name}.slices"));
+
+    let w = suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let program = w.build(InputSet::Train);
+
+    // Pass 1 (expensive, once): trace and slice, write the file.
+    let (forest, stats) = trace_and_slice_warm(&program, 1024, 32, budget, budget / 4);
+    std::fs::write(&path, write_forest(&forest)).expect("write slice file");
+    println!(
+        "{name}: traced {} insts, {} L2 misses -> {} slice trees written to {path}",
+        stats.insts,
+        stats.l2_misses,
+        forest.num_trees()
+    );
+
+    // Pass 2 (cheap, many times): read the file back and select p-thread
+    // sets for several configurations.
+    let text = std::fs::read_to_string(&path).expect("read slice file");
+    let forest = read_forest(&text).expect("parse slice file");
+    for (label, params) in [
+        ("8-wide, 78-cycle misses", SelectionParams { bw_seq: 8.0, ipc: 0.5, miss_latency: 78.0, ..SelectionParams::default() }),
+        ("8-wide, 148-cycle misses", SelectionParams { bw_seq: 8.0, ipc: 0.5, miss_latency: 148.0, ..SelectionParams::default() }),
+        ("4-wide, 78-cycle misses", SelectionParams { bw_seq: 4.0, ipc: 0.5, miss_latency: 78.0, ..SelectionParams::default() }),
+        ("no optimization", SelectionParams { ipc: 0.5, optimize: false, ..SelectionParams::default() }),
+    ] {
+        let sel = select_pthreads(&forest, &params);
+        println!(
+            "  [{label}] {} p-threads, predicted coverage {}/{} misses, avg len {:.1}",
+            sel.pthreads.len(),
+            sel.prediction.misses_covered,
+            forest.total_misses(),
+            sel.prediction.avg_pthread_len
+        );
+    }
+}

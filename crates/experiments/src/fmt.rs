@@ -1,0 +1,86 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders rows of cells as a fixed-width table with a header rule.
+///
+/// # Example
+///
+/// ```
+/// use preexec_experiments::fmt::render;
+///
+/// let s = render(&[
+///     vec!["bench".into(), "ipc".into()],
+///     vec!["mcf".into(), "0.29".into()],
+/// ]);
+/// assert!(s.contains("bench"));
+/// assert!(s.contains("mcf"));
+/// ```
+pub fn render(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            // Left-align the first column, right-align numbers.
+            if i == 0 {
+                out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            } else {
+                out.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+        }
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Formats a float with `d` decimals.
+pub fn f(x: f64, d: usize) -> String {
+    format!("{x:.d$}")
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let s = render(&[
+            vec!["a".into(), "b".into()],
+            vec!["longer".into(), "1".into()],
+        ]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3); // header, rule, row
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(render(&[]), "");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(12.34), "12.3%");
+    }
+}

@@ -1,0 +1,289 @@
+//! Table 1 (benchmark characterization) and Table 2 (primary results and
+//! model validation).
+
+use crate::fmt;
+use crate::pipeline::{
+    pct, run_pipeline, selection_params, sim, trace_and_slice, trace_and_slice_warm,
+    PipelineConfig,
+};
+use preexec_core::select_pthreads;
+use preexec_timing::{simulate, SimConfig, SimMode};
+use preexec_workloads::{suite, InputSet};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Dynamic instructions measured.
+    pub insts: u64,
+    /// Loads.
+    pub loads: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Unassisted IPC.
+    pub ipc: f64,
+    /// IPC with a perfect L2.
+    pub perfect_ipc: f64,
+}
+
+/// Computes Table 1 over the whole suite at `budget` instructions per
+/// benchmark.
+pub fn table1(budget: u64) -> Vec<Table1Row> {
+    let cfg = PipelineConfig::paper_default(budget);
+    suite()
+        .into_iter()
+        .map(|w| {
+            let p = w.build(InputSet::Train);
+            let (_, stats) = trace_and_slice(&p, 64, 2, budget);
+            let base = sim(&p, &[], &cfg, SimMode::Normal);
+            let perfect = simulate(
+                &p,
+                &[],
+                &SimConfig {
+                    machine: cfg.machine,
+                    perfect_l2: true,
+                    max_insts: budget,
+                    ..SimConfig::default()
+                },
+            );
+            Table1Row {
+                name: w.name.to_string(),
+                insts: stats.insts,
+                loads: stats.loads,
+                l2_misses: stats.l2_misses,
+                ipc: base.ipc(),
+                perfect_ipc: perfect.ipc(),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1 in the paper's layout.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = vec![vec![
+        "benchmark".to_string(),
+        "insts(K)".to_string(),
+        "loads(K)".to_string(),
+        "L2miss(K)".to_string(),
+        "IPC".to_string(),
+        "perfectL2".to_string(),
+    ]];
+    for r in rows {
+        out.push(vec![
+            r.name.clone(),
+            fmt::f(r.insts as f64 / 1e3, 1),
+            fmt::f(r.loads as f64 / 1e3, 1),
+            fmt::f(r.l2_misses as f64 / 1e3, 2),
+            fmt::f(r.ipc, 2),
+            fmt::f(r.perfect_ipc, 2),
+        ]);
+    }
+    fmt::render(&out)
+}
+
+/// One row of Table 2: measured pre-execution results and the framework's
+/// predictions of the same quantities.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Unassisted IPC.
+    pub base_ipc: f64,
+    // --- measured (the paper's "Pre-exec" section) ---
+    /// Assisted IPC.
+    pub ipc: f64,
+    /// P-threads launched.
+    pub launches: u64,
+    /// Average injected instructions per p-thread.
+    pub insts_per_pt: f64,
+    /// Misses covered, % of base misses.
+    pub covered_pct: f64,
+    /// Misses fully covered, % of base misses.
+    pub full_pct: f64,
+    /// IPC of the overhead-only `execute` run.
+    pub oh_execute_ipc: f64,
+    /// IPC of the overhead-only `sequence` run.
+    pub oh_sequence_ipc: f64,
+    /// IPC of the latency-tolerance-only run.
+    pub lt_ipc: f64,
+    // --- predicted (the paper's "Predict" section) ---
+    /// Predicted launches.
+    pub p_launches: u64,
+    /// Predicted p-thread length.
+    pub p_len: f64,
+    /// Predicted coverage %.
+    pub p_covered_pct: f64,
+    /// Predicted full coverage %.
+    pub p_full_pct: f64,
+    /// Predicted overhead-only IPC.
+    pub p_oh_ipc: f64,
+    /// Predicted latency-tolerance-only IPC.
+    pub p_lt_ipc: f64,
+    /// Predicted assisted IPC.
+    pub p_ipc: f64,
+}
+
+/// Computes Table 2 over the whole suite.
+pub fn table2(budget: u64) -> Vec<Table2Row> {
+    let cfg = PipelineConfig::paper_default(budget);
+    suite()
+        .into_iter()
+        .map(|w| {
+            let p = w.build(InputSet::Train);
+            let base = sim(&p, &[], &cfg, SimMode::Normal);
+            let (forest, stats) =
+                trace_and_slice_warm(&p, cfg.scope, cfg.max_slice_len, budget, cfg.warmup);
+            let params = selection_params(&cfg, base.ipc());
+            let selection = select_pthreads(&forest, &params);
+            let pts = &selection.pthreads;
+            let assisted = sim(&p, pts, &cfg, SimMode::Normal);
+            let oh_exec = sim(&p, pts, &cfg, SimMode::OverheadExecute);
+            let oh_seq = sim(&p, pts, &cfg, SimMode::OverheadSequence);
+            let lt_only = sim(&p, pts, &cfg, SimMode::LatencyToleranceOnly);
+            let pr = &selection.prediction;
+            let base_misses = base.mem.l2_misses;
+            Table2Row {
+                name: w.name.to_string(),
+                base_ipc: base.ipc(),
+                ipc: assisted.ipc(),
+                launches: assisted.launches,
+                insts_per_pt: assisted.avg_pthread_len(),
+                covered_pct: pct(assisted.covered(), base_misses),
+                full_pct: pct(assisted.mem.covered_full, base_misses),
+                oh_execute_ipc: oh_exec.ipc(),
+                oh_sequence_ipc: oh_seq.ipc(),
+                lt_ipc: lt_only.ipc(),
+                p_launches: pr.launches,
+                p_len: pr.avg_pthread_len,
+                p_covered_pct: pct(pr.misses_covered, stats.l2_misses.max(1)),
+                p_full_pct: pct(pr.misses_fully_covered, stats.l2_misses.max(1)),
+                p_oh_ipc: pr.predicted_overhead_ipc(stats.insts, base.ipc()),
+                p_lt_ipc: pr.predicted_lt_ipc(stats.insts, base.ipc()),
+                p_ipc: pr.predicted_ipc(stats.insts, base.ipc()),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 2 in the paper's layout (base / pre-exec / predict).
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = vec![vec![
+        "benchmark".to_string(),
+        "baseIPC".to_string(),
+        "IPC".to_string(),
+        "launch(K)".to_string(),
+        "len".to_string(),
+        "cov%".to_string(),
+        "full%".to_string(),
+        "ohX-IPC".to_string(),
+        "ohS-IPC".to_string(),
+        "ltIPC".to_string(),
+        "P:launch(K)".to_string(),
+        "P:len".to_string(),
+        "P:cov%".to_string(),
+        "P:full%".to_string(),
+        "P:ohIPC".to_string(),
+        "P:ltIPC".to_string(),
+        "P:IPC".to_string(),
+    ]];
+    for r in rows {
+        out.push(vec![
+            r.name.clone(),
+            fmt::f(r.base_ipc, 2),
+            fmt::f(r.ipc, 2),
+            fmt::f(r.launches as f64 / 1e3, 1),
+            fmt::f(r.insts_per_pt, 1),
+            fmt::f(r.covered_pct, 1),
+            fmt::f(r.full_pct, 1),
+            fmt::f(r.oh_execute_ipc, 2),
+            fmt::f(r.oh_sequence_ipc, 2),
+            fmt::f(r.lt_ipc, 2),
+            fmt::f(r.p_launches as f64 / 1e3, 1),
+            fmt::f(r.p_len, 1),
+            fmt::f(r.p_covered_pct, 1),
+            fmt::f(r.p_full_pct, 1),
+            fmt::f(r.p_oh_ipc, 2),
+            fmt::f(r.p_lt_ipc, 2),
+            fmt::f(r.p_ipc, 2),
+        ]);
+    }
+    fmt::render(&out)
+}
+
+/// Convenience: Table-2-adjacent summary for one workload (used by tests
+/// and examples).
+pub fn quick_summary(name: &str, budget: u64) -> Option<Table2Row> {
+    let w = suite().into_iter().find(|w| w.name == name)?;
+    let cfg = PipelineConfig::paper_default(budget);
+    let p = w.build(InputSet::Train);
+    let r = run_pipeline(&p, &cfg);
+    Some(Table2Row {
+        name: name.to_string(),
+        base_ipc: r.base.ipc(),
+        ipc: r.assisted.ipc(),
+        launches: r.assisted.launches,
+        insts_per_pt: r.assisted.avg_pthread_len(),
+        covered_pct: r.coverage_pct(),
+        full_pct: r.full_coverage_pct(),
+        oh_execute_ipc: 0.0,
+        oh_sequence_ipc: 0.0,
+        lt_ipc: 0.0,
+        p_launches: r.selection.prediction.launches,
+        p_len: r.selection.prediction.avg_pthread_len,
+        p_covered_pct: pct(r.selection.prediction.misses_covered, r.stats.l2_misses.max(1)),
+        p_full_pct: pct(
+            r.selection.prediction.misses_fully_covered,
+            r.stats.l2_misses.max(1),
+        ),
+        p_oh_ipc: 0.0,
+        p_lt_ipc: 0.0,
+        p_ipc: r.selection.prediction.predicted_ipc(r.stats.insts, r.base.ipc()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_ten_rows_and_sane_values() {
+        let rows = table1(60_000);
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert!(r.ipc > 0.0 && r.ipc <= 8.0, "{}: ipc {}", r.name, r.ipc);
+            assert!(
+                r.perfect_ipc >= r.ipc * 0.95,
+                "{}: perfect {} < base {}",
+                r.name,
+                r.perfect_ipc,
+                r.ipc
+            );
+            assert!(r.l2_misses > 0, "{}", r.name);
+        }
+        let text = render_table1(&rows);
+        assert!(text.contains("mcf"));
+    }
+
+    #[test]
+    fn mcf_is_among_the_slowest() {
+        let rows = table1(60_000);
+        let mcf = rows.iter().find(|r| r.name == "mcf").unwrap();
+        let mut ipcs: Vec<f64> = rows.iter().map(|r| r.ipc).collect();
+        ipcs.sort_by(f64::total_cmp);
+        let median = ipcs[ipcs.len() / 2];
+        assert!(
+            mcf.ipc < median,
+            "mcf should be in the slow half: {} vs median {}",
+            mcf.ipc,
+            median
+        );
+    }
+
+    #[test]
+    fn quick_summary_roundtrip() {
+        let row = quick_summary("vpr.r", 60_000).unwrap();
+        assert!(row.covered_pct > 0.0);
+        assert!(row.p_launches > 0);
+    }
+}

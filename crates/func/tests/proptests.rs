@@ -1,0 +1,99 @@
+//! Property tests: the CPU interpreter agrees with the pure operation
+//! semantics, and sampling schedules partition the instruction stream.
+
+use preexec_func::exec;
+use preexec_func::{Cpu, Phase, Sampling};
+use preexec_isa::{Inst, Op, Program, Reg};
+use preexec_mem::Memory;
+use proptest::prelude::*;
+
+fn alu_op() -> impl Strategy<Value = Op> {
+    prop::sample::select(vec![
+        Op::Add,
+        Op::Sub,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Nor,
+        Op::Slt,
+        Op::Sltu,
+        Op::Mul,
+    ])
+}
+
+proptest! {
+    /// Stepping an r-type instruction through the CPU produces exactly
+    /// `exec::alu` of the source values.
+    #[test]
+    fn cpu_matches_alu_semantics(op in alu_op(), a in any::<i64>(), b in any::<i64>()) {
+        let mut p = Program::new("t");
+        p.push(Inst::li(Reg::new(1), a));
+        p.push(Inst::li(Reg::new(2), b));
+        p.push(Inst::rtype(op, Reg::new(3), Reg::new(1), Reg::new(2)));
+        p.push(Inst::halt());
+        let mut cpu = Cpu::new(&p);
+        let mut mem = Memory::new();
+        while !cpu.halted() {
+            cpu.step(&p, &mut mem);
+        }
+        prop_assert_eq!(cpu.reg(Reg::new(3)), exec::alu(op, a, b, 0));
+    }
+
+    /// Memory round trip through the CPU at every width.
+    #[test]
+    fn cpu_memory_round_trip(addr in 0u64..1_000_000, value in any::<i64>()) {
+        let mut p = Program::new("t");
+        p.push(Inst::li(Reg::new(1), addr as i64));
+        p.push(Inst::li(Reg::new(2), value));
+        p.push(Inst::store(Op::Sd, Reg::new(2), Reg::new(1), 0));
+        p.push(Inst::load(Op::Ld, Reg::new(3), Reg::new(1), 0));
+        p.push(Inst::halt());
+        let mut cpu = Cpu::new(&p);
+        let mut mem = Memory::new();
+        while !cpu.halted() {
+            cpu.step(&p, &mut mem);
+        }
+        prop_assert_eq!(cpu.reg(Reg::new(3)), value);
+    }
+
+    /// Branch semantics: the CPU takes a branch exactly when
+    /// `exec::branch_taken` says so.
+    #[test]
+    fn cpu_matches_branch_semantics(
+        op in prop::sample::select(vec![Op::Beq, Op::Bne, Op::Blt, Op::Bge, Op::Ble, Op::Bgt]),
+        a in -100i64..100,
+        b in -100i64..100,
+    ) {
+        let mut p = Program::new("t");
+        p.push(Inst::li(Reg::new(1), a));
+        p.push(Inst::li(Reg::new(2), b));
+        p.push(Inst::branch(op, Reg::new(1), Reg::new(2), 4));
+        p.push(Inst::li(Reg::new(3), 1)); // fallthrough marker
+        p.push(Inst::halt());
+        let mut cpu = Cpu::new(&p);
+        let mut mem = Memory::new();
+        while !cpu.halted() {
+            cpu.step(&p, &mut mem);
+        }
+        let fell_through = cpu.reg(Reg::new(3)) == 1;
+        prop_assert_eq!(!fell_through, exec::branch_taken(op, a, b));
+    }
+
+    /// Over any window, phase counts match the schedule's arithmetic.
+    #[test]
+    fn sampling_partitions(off in 0u64..50, warm in 0u64..50, on in 1u64..50) {
+        let s = Sampling::new(off, warm, on);
+        let period = s.period();
+        let mut counts = [0u64; 3];
+        for n in 0..period * 3 {
+            match s.phase(n) {
+                Phase::Off => counts[0] += 1,
+                Phase::Warm => counts[1] += 1,
+                Phase::On => counts[2] += 1,
+            }
+        }
+        prop_assert_eq!(counts[0], off * 3);
+        prop_assert_eq!(counts[1], warm * 3);
+        prop_assert_eq!(counts[2], on * 3);
+    }
+}

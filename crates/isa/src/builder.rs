@@ -1,0 +1,375 @@
+//! A programmatic program builder with forward label references.
+//!
+//! The synthetic workloads construct their code with this builder rather
+//! than with assembly text: it is type-checked, supports computed constants
+//! (array sizes, strides), and resolves labels that are defined after use.
+
+use crate::{DataSegment, Inst, Op, Pc, Program, Reg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced when finishing a [`ProgramBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A control instruction referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            BuildError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Builds a [`Program`] incrementally, resolving labels at [`build`] time.
+///
+/// # Example
+///
+/// ```
+/// use preexec_isa::{ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new("count");
+/// let (i, n) = (Reg::new(1), Reg::new(2));
+/// b.li(n, 10);
+/// b.label("top");
+/// b.bge(i, n, "done");
+/// b.addi(i, i, 1);
+/// b.j("top");
+/// b.label("done");
+/// b.halt();
+/// let p = b.build().unwrap();
+/// assert_eq!(p.len(), 5);
+/// ```
+///
+/// [`build`]: ProgramBuilder::build
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    labels: HashMap<String, Pc>,
+    fixups: Vec<(usize, String)>,
+    data: Vec<DataSegment>,
+    duplicate: Option<String>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            insts: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            data: Vec::new(),
+            duplicate: None,
+        }
+    }
+
+    /// The PC the next instruction will occupy.
+    pub fn here(&self) -> Pc {
+        self.insts.len() as Pc
+    }
+
+    /// Defines `label` at the current position.
+    pub fn label(&mut self, label: impl Into<String>) -> &mut Self {
+        let label = label.into();
+        if self.labels.insert(label.clone(), self.here()).is_some() {
+            self.duplicate.get_or_insert(label);
+        }
+        self
+    }
+
+    /// Appends a raw instruction, returning its PC.
+    pub fn push(&mut self, inst: Inst) -> Pc {
+        let pc = self.here();
+        self.insts.push(inst);
+        pc
+    }
+
+    /// Adds an initialized data segment (see [`Program::add_data`]).
+    pub fn data(&mut self, base: u64, bytes: Vec<u8>) -> &mut Self {
+        self.data.push(DataSegment::new(base, bytes));
+        self
+    }
+
+    fn control(&mut self, inst: Inst, label: &str) -> Pc {
+        let pc = self.push(inst);
+        self.fixups.push((pc as usize, label.to_string()));
+        pc
+    }
+
+    /// Finishes the program, resolving every label reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if any referenced label is undefined or any
+    /// label was defined more than once.
+    pub fn build(self) -> Result<Program, BuildError> {
+        if let Some(l) = self.duplicate {
+            return Err(BuildError::DuplicateLabel(l));
+        }
+        let mut program = Program::new(self.name);
+        let mut insts = self.insts;
+        for (idx, label) in &self.fixups {
+            let &target = self
+                .labels
+                .get(label)
+                .ok_or_else(|| BuildError::UndefinedLabel(label.clone()))?;
+            insts[*idx].target = Some(target);
+        }
+        for inst in insts {
+            program.push(inst);
+        }
+        for seg in self.data {
+            program.add_data(seg.base, seg.bytes);
+        }
+        debug_assert_eq!(program.validate(), Ok(()));
+        Ok(program)
+    }
+
+    // --- convenience emitters -------------------------------------------
+
+    /// Emits `li rd, imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> Pc {
+        self.push(Inst::li(rd, imm))
+    }
+
+    /// Emits `mov rd, rs`.
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> Pc {
+        self.push(Inst::mov(rd, rs))
+    }
+
+    /// Emits a three-register ALU op.
+    pub fn rtype(&mut self, op: Op, rd: Reg, rs: Reg, rt: Reg) -> Pc {
+        self.push(Inst::rtype(op, rd, rs, rt))
+    }
+
+    /// Emits an immediate ALU op.
+    pub fn itype(&mut self, op: Op, rd: Reg, rs: Reg, imm: i64) -> Pc {
+        self.push(Inst::itype(op, rd, rs, imm))
+    }
+
+    /// Emits `add rd, rs, rt`.
+    pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) -> Pc {
+        self.rtype(Op::Add, rd, rs, rt)
+    }
+
+    /// Emits `sub rd, rs, rt`.
+    pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) -> Pc {
+        self.rtype(Op::Sub, rd, rs, rt)
+    }
+
+    /// Emits `mul rd, rs, rt`.
+    pub fn mul(&mut self, rd: Reg, rs: Reg, rt: Reg) -> Pc {
+        self.rtype(Op::Mul, rd, rs, rt)
+    }
+
+    /// Emits `and rd, rs, rt`.
+    pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) -> Pc {
+        self.rtype(Op::And, rd, rs, rt)
+    }
+
+    /// Emits `or rd, rs, rt`.
+    pub fn or(&mut self, rd: Reg, rs: Reg, rt: Reg) -> Pc {
+        self.rtype(Op::Or, rd, rs, rt)
+    }
+
+    /// Emits `xor rd, rs, rt`.
+    pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) -> Pc {
+        self.rtype(Op::Xor, rd, rs, rt)
+    }
+
+    /// Emits `addi rd, rs, imm`.
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i64) -> Pc {
+        self.itype(Op::Addi, rd, rs, imm)
+    }
+
+    /// Emits `andi rd, rs, imm`.
+    pub fn andi(&mut self, rd: Reg, rs: Reg, imm: i64) -> Pc {
+        self.itype(Op::Andi, rd, rs, imm)
+    }
+
+    /// Emits `xori rd, rs, imm`.
+    pub fn xori(&mut self, rd: Reg, rs: Reg, imm: i64) -> Pc {
+        self.itype(Op::Xori, rd, rs, imm)
+    }
+
+    /// Emits `sll rd, rs, imm`.
+    pub fn sll(&mut self, rd: Reg, rs: Reg, imm: i64) -> Pc {
+        self.itype(Op::Sll, rd, rs, imm)
+    }
+
+    /// Emits `srl rd, rs, imm`.
+    pub fn srl(&mut self, rd: Reg, rs: Reg, imm: i64) -> Pc {
+        self.itype(Op::Srl, rd, rs, imm)
+    }
+
+    /// Emits `slti rd, rs, imm`.
+    pub fn slti(&mut self, rd: Reg, rs: Reg, imm: i64) -> Pc {
+        self.itype(Op::Slti, rd, rs, imm)
+    }
+
+    /// Emits `ld rd, offset(base)`.
+    pub fn ld(&mut self, rd: Reg, offset: i64, base: Reg) -> Pc {
+        self.push(Inst::load(Op::Ld, rd, base, offset))
+    }
+
+    /// Emits `lw rd, offset(base)`.
+    pub fn lw(&mut self, rd: Reg, offset: i64, base: Reg) -> Pc {
+        self.push(Inst::load(Op::Lw, rd, base, offset))
+    }
+
+    /// Emits `lb rd, offset(base)`.
+    pub fn lb(&mut self, rd: Reg, offset: i64, base: Reg) -> Pc {
+        self.push(Inst::load(Op::Lb, rd, base, offset))
+    }
+
+    /// Emits `sd value, offset(base)`.
+    pub fn sd(&mut self, value: Reg, offset: i64, base: Reg) -> Pc {
+        self.push(Inst::store(Op::Sd, value, base, offset))
+    }
+
+    /// Emits `sw value, offset(base)`.
+    pub fn sw(&mut self, value: Reg, offset: i64, base: Reg) -> Pc {
+        self.push(Inst::store(Op::Sw, value, base, offset))
+    }
+
+    /// Emits `sb value, offset(base)`.
+    pub fn sb(&mut self, value: Reg, offset: i64, base: Reg) -> Pc {
+        self.push(Inst::store(Op::Sb, value, base, offset))
+    }
+
+    /// Emits `beq rs, rt, label`.
+    pub fn beq(&mut self, rs: Reg, rt: Reg, label: &str) -> Pc {
+        self.control(Inst::branch(Op::Beq, rs, rt, 0), label)
+    }
+
+    /// Emits `bne rs, rt, label`.
+    pub fn bne(&mut self, rs: Reg, rt: Reg, label: &str) -> Pc {
+        self.control(Inst::branch(Op::Bne, rs, rt, 0), label)
+    }
+
+    /// Emits `blt rs, rt, label`.
+    pub fn blt(&mut self, rs: Reg, rt: Reg, label: &str) -> Pc {
+        self.control(Inst::branch(Op::Blt, rs, rt, 0), label)
+    }
+
+    /// Emits `bge rs, rt, label`.
+    pub fn bge(&mut self, rs: Reg, rt: Reg, label: &str) -> Pc {
+        self.control(Inst::branch(Op::Bge, rs, rt, 0), label)
+    }
+
+    /// Emits `ble rs, rt, label`.
+    pub fn ble(&mut self, rs: Reg, rt: Reg, label: &str) -> Pc {
+        self.control(Inst::branch(Op::Ble, rs, rt, 0), label)
+    }
+
+    /// Emits `bgt rs, rt, label`.
+    pub fn bgt(&mut self, rs: Reg, rt: Reg, label: &str) -> Pc {
+        self.control(Inst::branch(Op::Bgt, rs, rt, 0), label)
+    }
+
+    /// Emits `j label`.
+    pub fn j(&mut self, label: &str) -> Pc {
+        self.control(Inst::jump(Op::J, 0), label)
+    }
+
+    /// Emits `jal label`.
+    pub fn jal(&mut self, label: &str) -> Pc {
+        self.control(Inst::jump(Op::Jal, 0), label)
+    }
+
+    /// Emits `jr rs`.
+    pub fn jr(&mut self, rs: Reg) -> Pc {
+        self.push(Inst::jr(rs))
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> Pc {
+        self.push(Inst::nop())
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> Pc {
+        self.push(Inst::halt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("top");
+        b.j("bottom"); // forward reference
+        b.j("top"); // backward reference
+        b.label("bottom");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.inst(0).target, Some(2));
+        assert_eq!(p.inst(1).target, Some(0));
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut b = ProgramBuilder::new("t");
+        b.j("nowhere");
+        assert_eq!(
+            b.build(),
+            Err(BuildError::UndefinedLabel("nowhere".to_string()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("x");
+        b.nop();
+        b.label("x");
+        b.halt();
+        assert_eq!(b.build(), Err(BuildError::DuplicateLabel("x".to_string())));
+    }
+
+    #[test]
+    fn data_segments_flow_through() {
+        let mut b = ProgramBuilder::new("t");
+        b.halt();
+        b.data(0x2000, vec![9; 8]);
+        let p = b.build().unwrap();
+        assert_eq!(p.data_segments().len(), 1);
+        assert_eq!(p.data_segments()[0].base, 0x2000);
+    }
+
+    #[test]
+    fn emitters_produce_expected_shapes() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::new(1), 5);
+        b.ld(Reg::new(2), 8, Reg::new(1));
+        b.sd(Reg::new(2), 0, Reg::new(1));
+        b.beq(Reg::new(1), Reg::new(2), "end");
+        b.label("end");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.inst(1).to_string(), "ld r2, 8(r1)");
+        assert_eq!(p.inst(2).to_string(), "sd r2, 0(r1)");
+        assert_eq!(p.inst(3).target, Some(4));
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut b = ProgramBuilder::new("t");
+        assert_eq!(b.here(), 0);
+        b.nop();
+        assert_eq!(b.here(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Miss status holding registers: outstanding-miss tracking with coalescing.
+
+use std::collections::HashMap;
+
+/// A file of miss status holding registers (MSHRs).
+///
+/// The paper allows "32 simultaneously outstanding misses". Each MSHR
+/// tracks one in-flight block; requests to an already-in-flight block
+/// coalesce onto the existing MSHR (and share its completion time).
+///
+/// # Example
+///
+/// ```
+/// use preexec_mem::MshrFile;
+///
+/// let mut m = MshrFile::new(2);
+/// assert_eq!(m.request(0x100, 70), Some(70)); // new miss, completes at 70
+/// assert_eq!(m.request(0x100, 99), Some(70)); // coalesces
+/// assert_eq!(m.request(0x200, 80), Some(80));
+/// assert_eq!(m.request(0x300, 90), None);     // file full
+/// m.retire_completed(75);
+/// assert_eq!(m.request(0x300, 90), Some(90)); // slot freed
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    inflight: HashMap<u64, u64>, // block addr -> completion cycle
+    coalesced: u64,
+    rejected: u64,
+}
+
+impl MshrFile {
+    /// Creates an empty file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> MshrFile {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        MshrFile { capacity, inflight: HashMap::new(), coalesced: 0, rejected: 0 }
+    }
+
+    /// Requests block `block_addr`, proposing `completes_at` as its fill
+    /// time if a new entry is allocated.
+    ///
+    /// Returns the completion cycle of the (possibly pre-existing) entry,
+    /// or `None` if the file is full and the request must retry.
+    pub fn request(&mut self, block_addr: u64, completes_at: u64) -> Option<u64> {
+        if let Some(&done) = self.inflight.get(&block_addr) {
+            self.coalesced += 1;
+            return Some(done);
+        }
+        if self.inflight.len() >= self.capacity {
+            self.rejected += 1;
+            return None;
+        }
+        self.inflight.insert(block_addr, completes_at);
+        Some(completes_at)
+    }
+
+    /// Whether `block_addr` is currently in flight.
+    pub fn contains(&self, block_addr: u64) -> bool {
+        self.inflight.contains_key(&block_addr)
+    }
+
+    /// The completion cycle of an in-flight block, if any.
+    pub fn completion_of(&self, block_addr: u64) -> Option<u64> {
+        self.inflight.get(&block_addr).copied()
+    }
+
+    /// Frees every entry whose completion time is `<= now`.
+    pub fn retire_completed(&mut self, now: u64) {
+        self.inflight.retain(|_, &mut done| done > now);
+    }
+
+    /// The earliest completion time among in-flight entries, if any — the
+    /// soonest moment a full file will have a free slot.
+    pub fn earliest_completion(&self) -> Option<u64> {
+        self.inflight.values().copied().min()
+    }
+
+    /// Number of occupied entries.
+    pub fn occupancy(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Requests that coalesced onto an existing entry.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Requests rejected because the file was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescing_shares_completion() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.request(0x40, 100), Some(100));
+        assert_eq!(m.request(0x40, 200), Some(100));
+        assert_eq!(m.coalesced(), 1);
+        assert_eq!(m.occupancy(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut m = MshrFile::new(1);
+        assert!(m.request(0x40, 10).is_some());
+        assert!(m.request(0x80, 10).is_none());
+        assert_eq!(m.rejected(), 1);
+    }
+
+    #[test]
+    fn retire_frees_slots() {
+        let mut m = MshrFile::new(1);
+        m.request(0x40, 10);
+        m.retire_completed(9);
+        assert!(m.contains(0x40));
+        m.retire_completed(10);
+        assert!(!m.contains(0x40));
+        assert!(m.request(0x80, 20).is_some());
+    }
+
+    #[test]
+    fn completion_lookup() {
+        let mut m = MshrFile::new(2);
+        m.request(0x40, 33);
+        assert_eq!(m.completion_of(0x40), Some(33));
+        assert_eq!(m.completion_of(0x80), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: the set-associative cache agrees with a naive
+//! reference model, and memory behaves like a byte array.
+
+use preexec_mem::{Cache, CacheConfig, Memory};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A naive fully-explicit reference cache: per set, a vector of (tag,
+/// dirty) pairs ordered most-recently-used first.
+struct RefCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<(u64, bool)>>,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> RefCache {
+        RefCache { cfg, sets: vec![Vec::new(); cfg.num_sets()] }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let block = addr / self.cfg.line_bytes as u64;
+        (
+            (block as usize) & (self.cfg.num_sets() - 1),
+            block / self.cfg.num_sets() as u64,
+        )
+    }
+
+    fn access(&mut self, addr: u64, write: bool) -> bool {
+        let (s, t) = self.set_and_tag(addr);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&(tag, _)| tag == t) {
+            let (tag, dirty) = set.remove(pos);
+            set.insert(0, (tag, dirty || write));
+            true
+        } else {
+            set.insert(0, (t, write));
+            set.truncate(self.cfg.assoc);
+            false
+        }
+    }
+
+    fn probe(&self, addr: u64) -> bool {
+        let (s, t) = self.set_and_tag(addr);
+        self.sets[s].iter().any(|&(tag, _)| tag == t)
+    }
+}
+
+proptest! {
+    /// Hit/miss behaviour matches the reference LRU model exactly.
+    #[test]
+    fn cache_matches_reference(
+        accesses in prop::collection::vec((0u64..4096, any::<bool>()), 1..300)
+    ) {
+        let cfg = CacheConfig::new(512, 32, 2); // 8 sets x 2 ways
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for (i, &(addr, write)) in accesses.iter().enumerate() {
+            let got = cache.access(addr, write).hit;
+            let want = reference.access(addr, write);
+            prop_assert_eq!(got, want, "access {} at {:#x}", i, addr);
+        }
+        // Final contents agree too.
+        for addr in (0u64..4096).step_by(32) {
+            prop_assert_eq!(cache.probe(addr), reference.probe(addr), "{:#x}", addr);
+        }
+    }
+
+    /// Hit + miss counters always sum to the access count.
+    #[test]
+    fn cache_counter_conservation(
+        accesses in prop::collection::vec(0u64..2048, 1..200)
+    ) {
+        let mut cache = Cache::new(CacheConfig::new(256, 32, 2));
+        for &a in &accesses {
+            let _ = cache.access(a, false);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), accesses.len() as u64);
+    }
+
+    /// Memory reads back exactly what was written, at every width.
+    #[test]
+    fn memory_is_a_byte_array(
+        writes in prop::collection::vec((0u64..100_000, any::<u64>(), 0u8..3), 1..100)
+    ) {
+        let mut mem = Memory::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for &(addr, value, width) in &writes {
+            match width {
+                0 => {
+                    mem.write_u8(addr, value as u8);
+                    model.insert(addr, value as u8);
+                }
+                1 => {
+                    mem.write_u32(addr, value as u32);
+                    for (k, b) in (value as u32).to_le_bytes().iter().enumerate() {
+                        model.insert(addr + k as u64, *b);
+                    }
+                }
+                _ => {
+                    mem.write_u64(addr, value);
+                    for (k, b) in value.to_le_bytes().iter().enumerate() {
+                        model.insert(addr + k as u64, *b);
+                    }
+                }
+            }
+        }
+        for (&addr, &byte) in &model {
+            prop_assert_eq!(mem.read_u8(addr), byte, "byte at {:#x}", addr);
+        }
+    }
+
+    /// A bus transfer never completes before its request, and occupancy
+    /// grows monotonically with transfer count.
+    #[test]
+    fn bus_causality(
+        requests in prop::collection::vec((0u64..10_000, 1u64..256), 1..100)
+    ) {
+        let mut bus = preexec_mem::Bus::new(32, 4);
+        for &(now, bytes) in &requests {
+            let done = bus.transfer(now, bytes);
+            prop_assert!(done > now, "transfer completed at {done} <= request {now}");
+        }
+        prop_assert_eq!(bus.transfers(), requests.len() as u64);
+    }
+}

@@ -1,0 +1,264 @@
+//! Slice-forest file I/O.
+//!
+//! The paper's toolflow writes slice trees to files so that "multiple
+//! p-thread sets for the same cache configuration but different pipeline,
+//! latency and p-thread optimization configurations \[can\] be generated
+//! quickly" (§4.1): the expensive trace+slice pass runs once, selection
+//! re-runs cheaply. This module provides a line-oriented text format for
+//! [`SliceForest`], round-trip safe and human-inspectable.
+//!
+//! Format:
+//!
+//! ```text
+//! forest sample_insts=<n>
+//! exec <pc> <count>            # one per static PC with nonzero DC_trig
+//! tree <root pc> dc=<n> deps=<d0,d1,...> inst=<assembly>
+//! node parent=<id> pc=<pc> dc=<n> dist_sum=<s> deps=<...> inst=<assembly>
+//! ```
+//!
+//! Node ids are implicit: the root of the current tree is 0 and each
+//! `node` line takes the next id in order, which matches how trees are
+//! built (parents always precede children).
+
+use crate::{SliceForest, SliceTree};
+use preexec_isa::{assemble, Inst, Pc};
+use std::error::Error;
+use std::fmt;
+
+/// An error while parsing a serialized slice forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseForestError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseForestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slice forest parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for ParseForestError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseForestError {
+    ParseForestError { line, message: message.into() }
+}
+
+/// Serializes a forest to the text format.
+pub fn write_forest(forest: &SliceForest) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("forest sample_insts={}\n", forest.sample_insts()));
+    for (pc, count) in forest.exec_counts() {
+        out.push_str(&format!("exec {pc} {count}\n"));
+    }
+    for (root_pc, tree) in forest.trees() {
+        let root = tree.root();
+        out.push_str(&format!(
+            "tree {root_pc} dc={} deps={} inst={}\n",
+            root.dc_ptcm,
+            join(&root.dep_depths),
+            root.inst
+        ));
+        for (id, node) in tree.iter().skip(1) {
+            out.push_str(&format!(
+                "node parent={} pc={} dc={} dist_sum={} deps={} inst={}\n",
+                node.parent.expect("non-root has parent"),
+                node.pc,
+                node.dc_ptcm,
+                tree.dist_sum(id),
+                join(&node.dep_depths),
+                node.inst
+            ));
+        }
+    }
+    out
+}
+
+fn join(v: &[u32]) -> String {
+    if v.is_empty() {
+        "-".to_string()
+    } else {
+        v.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+    }
+}
+
+fn parse_deps(s: &str, line: usize) -> Result<Vec<u32>, ParseForestError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|x| x.parse().map_err(|_| err(line, format!("bad deps `{s}`"))))
+        .collect()
+}
+
+fn parse_inst(s: &str, line: usize) -> Result<Inst, ParseForestError> {
+    let program = assemble("io", s).map_err(|e| err(line, e.to_string()))?;
+    if program.len() != 1 {
+        return Err(err(line, format!("expected one instruction in `{s}`")));
+    }
+    Ok(*program.inst(0))
+}
+
+fn field<'a>(
+    parts: &'a [&'a str],
+    key: &str,
+    line: usize,
+) -> Result<&'a str, ParseForestError> {
+    parts
+        .iter()
+        .find_map(|p| p.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+        .ok_or_else(|| err(line, format!("missing field `{key}`")))
+}
+
+/// Parses a forest from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseForestError`] naming the offending line for malformed
+/// headers, fields, instructions, or node references.
+pub fn read_forest(text: &str) -> Result<SliceForest, ParseForestError> {
+    let mut sample_insts = 0u64;
+    let mut exec_counts: Vec<(Pc, u64)> = Vec::new();
+    let mut trees: Vec<SliceTree> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let lineof = raw.trim();
+        if lineof.is_empty() || lineof.starts_with('#') {
+            continue;
+        }
+        // `inst=` is always the final field and may contain spaces.
+        let (head, inst_text) = match lineof.split_once("inst=") {
+            Some((h, i)) => (h.trim(), Some(i.trim())),
+            None => (lineof, None),
+        };
+        let parts: Vec<&str> = head.split_whitespace().collect();
+        match parts.first().copied() {
+            Some("forest") => {
+                sample_insts = field(&parts, "sample_insts", lineno)?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad sample_insts"))?;
+            }
+            Some("exec") => {
+                if parts.len() != 3 {
+                    return Err(err(lineno, "exec wants `exec <pc> <count>`"));
+                }
+                let pc = parts[1].parse().map_err(|_| err(lineno, "bad pc"))?;
+                let count = parts[2].parse().map_err(|_| err(lineno, "bad count"))?;
+                exec_counts.push((pc, count));
+            }
+            Some("tree") => {
+                let pc: Pc = parts
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "tree wants a root pc"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad root pc"))?;
+                let inst = parse_inst(
+                    inst_text.ok_or_else(|| err(lineno, "missing inst"))?,
+                    lineno,
+                )?;
+                let dc = field(&parts, "dc", lineno)?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad dc"))?;
+                let deps = parse_deps(field(&parts, "deps", lineno)?, lineno)?;
+                let mut tree = SliceTree::new(pc, inst);
+                tree.set_root_stats(dc, deps);
+                trees.push(tree);
+            }
+            Some("node") => {
+                let tree = trees
+                    .last_mut()
+                    .ok_or_else(|| err(lineno, "node before any tree"))?;
+                let parent: usize = field(&parts, "parent", lineno)?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad parent"))?;
+                if parent >= tree.len() {
+                    return Err(err(lineno, format!("parent {parent} out of range")));
+                }
+                let pc = field(&parts, "pc", lineno)?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad pc"))?;
+                let dc = field(&parts, "dc", lineno)?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad dc"))?;
+                let dist_sum = field(&parts, "dist_sum", lineno)?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad dist_sum"))?;
+                let deps = parse_deps(field(&parts, "deps", lineno)?, lineno)?;
+                let inst = parse_inst(
+                    inst_text.ok_or_else(|| err(lineno, "missing inst"))?,
+                    lineno,
+                )?;
+                tree.push_node_raw(pc, inst, parent, dc, dist_sum, deps);
+            }
+            Some(other) => return Err(err(lineno, format!("unknown record `{other}`"))),
+            None => unreachable!("blank lines skipped"),
+        }
+    }
+    Ok(SliceForest::from_parts(trees, exec_counts, sample_insts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SliceForestBuilder;
+    use preexec_func::{run_trace, TraceConfig};
+
+    fn sample_forest() -> SliceForest {
+        let p = preexec_isa::assemble(
+            "t",
+            "li r1, 0x100000\n li r2, 0\n li r3, 512\n\
+             top: bge r2, r3, done\n ld r4, 0(r1)\n addi r1, r1, 64\n addi r2, r2, 1\n j top\n\
+             done: halt",
+        )
+        .unwrap();
+        let mut b = SliceForestBuilder::new(1024, 16);
+        run_trace(&p, &TraceConfig::default(), |d| b.observe(d));
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let forest = sample_forest();
+        let text = write_forest(&forest);
+        let back = read_forest(&text).expect("parses");
+        assert_eq!(back.sample_insts(), forest.sample_insts());
+        assert_eq!(back.num_trees(), forest.num_trees());
+        for (pc, tree) in forest.trees() {
+            let other = back.tree(pc).expect("tree present");
+            assert_eq!(other.len(), tree.len());
+            assert_eq!(back.dc_trig(pc), forest.dc_trig(pc));
+            for (id, node) in tree.iter() {
+                let o = other.node(id);
+                assert_eq!(o.pc, node.pc);
+                assert_eq!(o.inst, node.inst);
+                assert_eq!(o.dc_ptcm, node.dc_ptcm);
+                assert_eq!(o.depth, node.depth);
+                assert_eq!(o.dep_depths, node.dep_depths);
+                assert!((o.dist_pl() - node.dist_pl()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_lines() {
+        let e = read_forest("forest sample_insts=1\nbogus record\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = read_forest("node parent=0 pc=1 dc=1 dist_sum=0 deps=- inst=nop").unwrap_err();
+        assert!(e.message.contains("before any tree"));
+    }
+
+    #[test]
+    fn blank_lines_and_comments_ignored() {
+        let forest = sample_forest();
+        let mut text = String::from("# a comment\n\n");
+        text.push_str(&write_forest(&forest));
+        assert!(read_forest(&text).is_ok());
+    }
+}

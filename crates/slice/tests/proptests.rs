@@ -1,0 +1,93 @@
+//! Property tests: slice-tree structural invariants under arbitrary
+//! slice insertions.
+
+use preexec_isa::{Inst, Op, Pc, Reg};
+use preexec_slice::{SliceEntry, SliceTree};
+use proptest::prelude::*;
+
+fn entry(pc: Pc, dist: u64) -> SliceEntry {
+    SliceEntry {
+        pc,
+        inst: Inst::itype(Op::Addi, Reg::new(1), Reg::new(1), 1),
+        dist,
+        dep_positions: Vec::new(),
+    }
+}
+
+/// A random slice: root pc 99, then a path of small PCs with strictly
+/// increasing distances.
+fn slice_strategy() -> impl Strategy<Value = Vec<SliceEntry>> {
+    prop::collection::vec((0u32..6, 1u64..4), 0..10).prop_map(|tail| {
+        let mut out = vec![SliceEntry {
+            pc: 99,
+            inst: Inst::load(Op::Ld, Reg::new(2), Reg::new(1), 0),
+            dist: 0,
+            dep_positions: vec![],
+        }];
+        let mut dist = 0;
+        for (pc, step) in tail {
+            dist += step;
+            out.push(entry(pc, dist));
+        }
+        out
+    })
+}
+
+proptest! {
+    /// After any insertion sequence: DC invariants hold, the root count
+    /// equals the insertion count, and every node's path key is unique.
+    #[test]
+    fn tree_invariants(slices in prop::collection::vec(slice_strategy(), 1..60)) {
+        let mut tree = SliceTree::new(99, Inst::load(Op::Ld, Reg::new(2), Reg::new(1), 0));
+        for s in &slices {
+            tree.insert_slice(s);
+        }
+        prop_assert!(tree.check_invariants());
+        prop_assert_eq!(tree.root().dc_ptcm, slices.len() as u64);
+
+        for (id, node) in tree.iter() {
+            // Depth consistency along parent links.
+            if let Some(p) = node.parent {
+                prop_assert_eq!(tree.node(p).depth + 1, node.depth);
+                prop_assert!(tree.is_ancestor(p, id));
+            } else {
+                prop_assert_eq!(id, 0);
+            }
+            // Children have distinct PCs (paths are keyed by PC).
+            let mut pcs: Vec<Pc> = node.children.iter().map(|&c| tree.node(c).pc).collect();
+            let before = pcs.len();
+            pcs.sort_unstable();
+            pcs.dedup();
+            prop_assert_eq!(pcs.len(), before, "duplicate child pc under node {}", id);
+            // Within every contributing slice distances strictly increase
+            // from 0 at the root, so each node's average distance is at
+            // least its depth. (Parent/child averages are NOT ordered:
+            // they average over different slice subsets.)
+            if id != 0 {
+                prop_assert!(
+                    node.dist_pl() >= node.depth as f64,
+                    "dist_pl {} below depth {} at node {}",
+                    node.dist_pl(),
+                    node.depth,
+                    id
+                );
+            }
+        }
+    }
+
+    /// Leaves have no children, and every node lies on a root path.
+    #[test]
+    fn leaves_and_paths(slices in prop::collection::vec(slice_strategy(), 1..40)) {
+        let mut tree = SliceTree::new(99, Inst::load(Op::Ld, Reg::new(2), Reg::new(1), 0));
+        for s in &slices {
+            tree.insert_slice(s);
+        }
+        for leaf in tree.leaves() {
+            prop_assert!(tree.node(leaf).children.is_empty());
+            let path = tree.path_from_root(leaf);
+            prop_assert_eq!(path[0], 0);
+            prop_assert_eq!(*path.last().unwrap(), leaf);
+            prop_assert_eq!(path.len() as u32, tree.node(leaf).depth + 1);
+        }
+    }
+}

@@ -1,0 +1,792 @@
+//! The cycle-driven simulation loop.
+
+use crate::{BranchPredictor, MachineParams, MemSys};
+use crate::memsys::MemStats;
+use preexec_core::StaticPThread;
+use preexec_func::exec;
+use preexec_func::Cpu;
+use preexec_isa::reg::NUM_REGS;
+use preexec_isa::{Inst, Op, OpClass, Pc, Program};
+use preexec_mem::Memory;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// What the p-threads are allowed to do — the paper's validation modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Full pre-execution: p-threads cost bandwidth and prefetch.
+    #[default]
+    Normal,
+    /// Overhead-only, `execute` variant: p-threads execute as usual but
+    /// their loads do not touch the data caches (no pre-execution effect).
+    OverheadExecute,
+    /// Overhead-only, `sequence` variant: p-thread instructions consume
+    /// sequencing cycles and are immediately discarded.
+    OverheadSequence,
+    /// Latency-tolerance-only: p-threads are not charged for bandwidth.
+    LatencyToleranceOnly,
+}
+
+/// Configuration of one timing run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// The machine.
+    pub machine: MachineParams,
+    /// P-thread mode (ignored when no p-threads are supplied).
+    pub mode: SimMode,
+    /// Model a perfect L2 for the main thread (Table 1).
+    pub perfect_l2: bool,
+    /// Stop after this many retired main-thread instructions.
+    pub max_insts: u64,
+    /// Hard cycle cap (runaway guard).
+    pub max_cycles: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            machine: MachineParams::paper_default(),
+            mode: SimMode::Normal,
+            perfect_l2: false,
+            max_insts: u64::MAX,
+            max_cycles: 4_000_000_000,
+        }
+    }
+}
+
+/// The outcome of a timing run.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Main-thread instructions retired.
+    pub insts: u64,
+    /// Dynamic p-thread launches that got a context.
+    pub launches: u64,
+    /// Launch requests dropped because no context was free.
+    pub drops: u64,
+    /// P-thread instructions injected.
+    pub pthread_insts: u64,
+    /// Conditional-branch lookups.
+    pub branches: u64,
+    /// Branch mispredictions (direction or target).
+    pub mispredicts: u64,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+}
+
+impl SimResult {
+    /// Main-thread instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average dynamic p-thread length (injected instructions per launch).
+    pub fn avg_pthread_len(&self) -> f64 {
+        if self.launches == 0 {
+            0.0
+        } else {
+            self.pthread_insts as f64 / self.launches as f64
+        }
+    }
+
+    /// Instruction overhead: p-thread instructions per main-thread
+    /// instruction (the figures' "instruction overhead" tick).
+    pub fn overhead(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.pthread_insts as f64 / self.insts as f64
+        }
+    }
+
+    /// Misses covered (fully + partially) by p-threads.
+    pub fn covered(&self) -> u64 {
+        self.mem.covered_full + self.mem.covered_partial
+    }
+
+    /// The program's total would-be L2 misses in this run: uncovered
+    /// misses plus covered ones.
+    pub fn total_would_be_misses(&self) -> u64 {
+        self.mem.l2_misses + self.covered()
+    }
+}
+
+/// One live p-thread context.
+struct Ctx {
+    body: Vec<Inst>,
+    next: usize,
+    regs: [i64; NUM_REGS],
+    ready: [u64; NUM_REGS],
+    burst_left: u32,
+    next_burst: u64,
+    store_buffer: HashMap<u64, (i64, u8)>,
+}
+
+/// Issue-bandwidth ledger: at most `width` instructions may begin
+/// execution in any cycle, shared by all threads.
+struct IssueSlots {
+    counts: HashMap<u64, u32>,
+    width: u32,
+    last_prune: u64,
+}
+
+impl IssueSlots {
+    fn new(width: u32) -> IssueSlots {
+        IssueSlots { counts: HashMap::new(), width, last_prune: 0 }
+    }
+
+    /// First cycle at or after `earliest` with a free issue slot; books it.
+    fn schedule(&mut self, earliest: u64, now: u64) -> u64 {
+        let mut c = earliest;
+        loop {
+            let n = self.counts.entry(c).or_insert(0);
+            if *n < self.width {
+                *n += 1;
+                break;
+            }
+            c += 1;
+        }
+        if now > self.last_prune + 65536 {
+            self.counts.retain(|&k, _| k >= now);
+            self.last_prune = now;
+        }
+        c
+    }
+}
+
+/// Runs `program` on the timing model, pre-executing `pthreads`.
+///
+/// Returns cycle counts, retirement statistics, p-thread launch/injection
+/// statistics, branch statistics and the memory system's coverage
+/// accounting. Pass an empty `pthreads` slice for an unassisted (base)
+/// run.
+pub fn simulate(program: &Program, pthreads: &[StaticPThread], config: &SimConfig) -> SimResult {
+    config.machine.validate();
+    let m = &config.machine;
+    let mut cpu = Cpu::new(program);
+    let mut mem = Memory::new();
+    for seg in program.data_segments() {
+        mem.write_slice(seg.base, &seg.bytes);
+    }
+    let mut memsys = MemSys::new(*m);
+    memsys.set_perfect_l2(config.perfect_l2);
+    let mut bp = BranchPredictor::new();
+    let mut slots = IssueSlots::new(m.width);
+
+    let mut trigger_map: HashMap<Pc, Vec<usize>> = HashMap::new();
+    for (i, p) in pthreads.iter().enumerate() {
+        trigger_map.entry(p.trigger).or_default().push(i);
+    }
+
+    let mut rob: VecDeque<u64> = VecDeque::with_capacity(m.rob_entries);
+    let mut rs: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+    let mut reg_ready = [0u64; NUM_REGS];
+    let mut store_queue: VecDeque<(u64, u8, u64)> = VecDeque::new();
+    let mut contexts: Vec<Option<Ctx>> = (0..m.pthread_contexts).map(|_| None).collect();
+    let mut pthread_regs: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+
+    let mut r = SimResult::default();
+    let mut cycle: u64 = 0;
+    let mut rename_stall_until: u64 = 0;
+
+    loop {
+        // 1. Retire main-thread instructions in order.
+        let mut retired_now = 0;
+        while retired_now < m.width {
+            match rob.front() {
+                Some(&done) if done <= cycle => {
+                    rob.pop_front();
+                    r.insts += 1;
+                    retired_now += 1;
+                }
+                _ => break,
+            }
+        }
+
+        // 2. Free reservation stations whose instructions have issued.
+        while matches!(rs.peek(), Some(&Reverse(t)) if t <= cycle) {
+            rs.pop();
+        }
+        while matches!(pthread_regs.peek(), Some(&Reverse(t)) if t <= cycle) {
+            pthread_regs.pop();
+        }
+
+        let mut bandwidth = m.width;
+
+        // 3. P-thread injection: bursts of `pthread_burst` per context.
+        for slot in contexts.iter_mut() {
+            let free_bandwidth = config.mode == SimMode::LatencyToleranceOnly;
+            let Some(ctx) = slot else { continue };
+            if cycle >= ctx.next_burst && ctx.burst_left == 0 {
+                ctx.burst_left = m.pthread_burst;
+                ctx.next_burst = cycle + m.pthread_burst as u64;
+            }
+            while ctx.burst_left > 0 && ctx.next < ctx.body.len() {
+                if !free_bandwidth && bandwidth == 0 {
+                    break;
+                }
+                if config.mode != SimMode::OverheadSequence {
+                    if rs.len() >= m.rs_entries {
+                        break;
+                    }
+                    if pthread_regs.len() >= m.pthread_phys_regs {
+                        break;
+                    }
+                }
+                let inst = ctx.body[ctx.next];
+                inject_pthread_inst(
+                    ctx, inst, cycle, config.mode, m, &mut memsys, &mem, &mut slots, &mut rs,
+                    &mut pthread_regs,
+                );
+                r.pthread_insts += 1;
+                ctx.next += 1;
+                ctx.burst_left -= 1;
+                if !free_bandwidth {
+                    bandwidth -= 1;
+                }
+            }
+            if ctx.next >= ctx.body.len() {
+                // All instructions renamed: the context frees (paper §4.1).
+                *slot = None;
+            }
+        }
+
+        // 4. Main-thread rename/dispatch.
+        while bandwidth > 0 && !cpu.halted() && cycle >= rename_stall_until {
+            if rob.len() >= m.rob_entries || rs.len() >= m.rs_entries {
+                break;
+            }
+            // Structural store-queue check before committing to the step.
+            let next_is_store = program
+                .get(cpu.pc())
+                .is_some_and(|i| i.op.is_store());
+            if next_is_store && store_queue.len() >= m.store_queue_entries {
+                match store_queue.front() {
+                    Some(&(_, _, done)) if done <= cycle => {
+                        store_queue.pop_front();
+                    }
+                    _ => break,
+                }
+            }
+
+            let out = cpu.step(program, &mut mem);
+            let inst = out.inst;
+            let ready = inst
+                .uses()
+                .map(|reg| reg_ready[reg.index()])
+                .fold(0u64, u64::max);
+            let earliest = ready.max(cycle + 1);
+            let mut mispredicted = false;
+
+            let completion = match inst.class() {
+                OpClass::IntAlu | OpClass::IntMul => {
+                    let issue = slots.schedule(earliest, cycle);
+                    rs.push(Reverse(issue));
+                    issue + inst.op.exec_latency() as u64
+                }
+                OpClass::Load => {
+                    let issue = slots.schedule(earliest, cycle);
+                    rs.push(Reverse(issue));
+                    let t = issue + m.agen_latency;
+                    let addr = out.addr.expect("load has address");
+                    let width = inst.op.mem_width().expect("load width");
+                    if let Some(fwd) =
+                        store_forward(&store_queue, addr, width, m.store_forward_latency)
+                    {
+                        fwd.max(t + m.store_forward_latency)
+                    } else {
+                        memsys.main_load(t, addr)
+                    }
+                }
+                OpClass::Store => {
+                    let issue = slots.schedule(earliest, cycle);
+                    rs.push(Reverse(issue));
+                    let t = issue + m.agen_latency;
+                    let addr = out.addr.expect("store has address");
+                    let width = inst.op.mem_width().expect("store width");
+                    let done = memsys.main_store(t, addr);
+                    store_queue.push_back((addr, width, done));
+                    if store_queue.len() > m.store_queue_entries {
+                        store_queue.pop_front();
+                    }
+                    done
+                }
+                OpClass::Branch => {
+                    let issue = slots.schedule(earliest, cycle);
+                    rs.push(Reverse(issue));
+                    r.branches += 1;
+                    let correct = bp.predict_and_update(out.pc, out.taken, inst.target);
+                    let done = issue + 1;
+                    if !correct {
+                        r.mispredicts += 1;
+                        mispredicted = true;
+                        rename_stall_until = done + m.mispredict_penalty();
+                    }
+                    done
+                }
+                OpClass::Jump => {
+                    let issue = slots.schedule(earliest, cycle);
+                    rs.push(Reverse(issue));
+                    let done = issue + 1;
+                    if inst.op == Op::Jr {
+                        let correct = bp.predict_indirect(out.pc, cpu.pc());
+                        if !correct {
+                            r.mispredicts += 1;
+                            mispredicted = true;
+                            rename_stall_until = done + m.mispredict_penalty();
+                        }
+                    }
+                    done
+                }
+                OpClass::Other => cycle + 1,
+            };
+
+            rob.push_back(completion);
+            if let Some(def) = inst.def() {
+                reg_ready[def.index()] = completion;
+            }
+            bandwidth -= 1;
+
+            // P-thread launch at trigger rename.
+            if let Some(list) = trigger_map.get(&out.pc) {
+                for &pi in list {
+                    match contexts.iter_mut().find(|c| c.is_none()) {
+                        Some(free) => {
+                            r.launches += 1;
+                            // Seed values are read through the rename map:
+                            // a live-in becomes usable when its main-thread
+                            // producer completes, not at launch.
+                            let mut ready = reg_ready;
+                            for t in ready.iter_mut() {
+                                *t = (*t).max(cycle);
+                            }
+                            *free = Some(Ctx {
+                                body: pthreads[pi].body.clone(),
+                                next: 0,
+                                regs: cpu.snapshot_regs(),
+                                ready,
+                                burst_left: 0,
+                                next_burst: cycle,
+                                store_buffer: HashMap::new(),
+                            });
+                        }
+                        None => r.drops += 1,
+                    }
+                }
+            }
+            if mispredicted || out.halted {
+                break;
+            }
+        }
+
+        cycle += 1;
+        let drained = cpu.halted() && rob.is_empty();
+        if drained || r.insts >= config.max_insts || cycle >= config.max_cycles {
+            break;
+        }
+    }
+
+    r.cycles = cycle;
+    r.mem = *memsys.stats();
+    r
+}
+
+/// Store-to-load forwarding: the youngest older store fully containing the
+/// load's bytes supplies the data.
+fn store_forward(
+    queue: &VecDeque<(u64, u8, u64)>,
+    addr: u64,
+    width: u8,
+    _fwd_latency: u64,
+) -> Option<u64> {
+    queue
+        .iter()
+        .rev()
+        .find(|&&(sa, sw, _)| sa <= addr && addr + width as u64 <= sa + sw as u64)
+        .map(|&(_, _, done)| done)
+}
+
+/// Injects one p-thread instruction: functional execution on the context's
+/// private registers (with a private store buffer), then timing.
+#[allow(clippy::too_many_arguments)]
+fn inject_pthread_inst(
+    ctx: &mut Ctx,
+    inst: Inst,
+    cycle: u64,
+    mode: SimMode,
+    m: &MachineParams,
+    memsys: &mut MemSys,
+    mem: &Memory,
+    slots: &mut IssueSlots,
+    rs: &mut BinaryHeap<Reverse<u64>>,
+    pthread_regs: &mut BinaryHeap<Reverse<u64>>,
+) {
+    if mode == SimMode::OverheadSequence {
+        return; // sequenced and discarded
+    }
+    let ready = inst
+        .uses()
+        .map(|reg| ctx.ready[reg.index()])
+        .fold(cycle, u64::max);
+    let issue = slots.schedule(ready.max(cycle + 1), cycle);
+    rs.push(Reverse(issue));
+
+    let a = inst.rs1.map_or(0, |r| ctx.regs[r.index()]);
+    let b = inst.rs2.map_or(0, |r| ctx.regs[r.index()]);
+    let mut completion = issue + inst.op.exec_latency() as u64;
+    let mut result = 0i64;
+
+    match inst.class() {
+        OpClass::IntAlu | OpClass::IntMul => {
+            result = exec::alu(inst.op, a, b, inst.imm);
+        }
+        OpClass::Load => {
+            let addr = exec::effective_address(a, inst.imm);
+            let t = issue + m.agen_latency;
+            // Forward from the p-thread's own speculative stores.
+            if let Some(&(v, w)) = ctx.store_buffer.get(&addr) {
+                if w == inst.op.mem_width().expect("load width") {
+                    result = v;
+                    completion = t + m.store_forward_latency;
+                } else {
+                    result = read_mem(mem, inst.op, addr);
+                    completion = pthread_mem_access(mode, memsys, t, addr);
+                }
+            } else {
+                result = read_mem(mem, inst.op, addr);
+                completion = pthread_mem_access(mode, memsys, t, addr);
+            }
+        }
+        OpClass::Store => {
+            // Speculative: buffered locally, never written to memory.
+            let addr = exec::effective_address(a, inst.imm);
+            ctx.store_buffer
+                .insert(addr, (b, inst.op.mem_width().expect("store width")));
+            completion = issue + m.agen_latency + 1;
+        }
+        // Bodies are control-less; anything else is inert.
+        OpClass::Branch | OpClass::Jump | OpClass::Other => {}
+    }
+
+    if let Some(def) = inst.def() {
+        ctx.regs[def.index()] = result;
+        ctx.ready[def.index()] = completion;
+        pthread_regs.push(Reverse(completion));
+    }
+}
+
+fn pthread_mem_access(mode: SimMode, memsys: &mut MemSys, t: u64, addr: u64) -> u64 {
+    match mode {
+        SimMode::OverheadExecute => memsys.pthread_load_inert(t),
+        _ => memsys.pthread_load(t, addr),
+    }
+}
+
+fn read_mem(mem: &Memory, op: Op, addr: u64) -> i64 {
+    match op {
+        Op::Lb => mem.read_u8(addr) as i8 as i64,
+        Op::Lbu => mem.read_u8(addr) as i64,
+        Op::Lw => mem.read_u32(addr) as i32 as i64,
+        Op::Ld => mem.read_u64(addr) as i64,
+        _ => unreachable!("not a load"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_core::Advantage;
+    use preexec_isa::{assemble, Reg};
+
+    fn run(src: &str) -> SimResult {
+        let p = assemble("t", src).unwrap();
+        simulate(&p, &[], &SimConfig::default())
+    }
+
+    /// A loop streaming over memory at 64 B (one L2 line per iteration),
+    /// with a dependent ALU chain per iteration so the memory bus has
+    /// headroom (otherwise the stream saturates the bus and prefetching
+    /// cannot help — the paper's bus-contention effect).
+    const STREAM: &str = "
+        li r1, 0x100000
+        li r2, 0
+        li r3, 2048
+    top:
+        bge r2, r3, done
+        ld  r4, 0(r1)
+        add r9, r9, r4
+        addi r9, r9, 1
+        addi r9, r9, 1
+        addi r9, r9, 1
+        addi r9, r9, 1
+        addi r9, r9, 1
+        addi r9, r9, 1
+        addi r9, r9, 1
+        addi r9, r9, 1
+        addi r9, r9, 1
+        addi r9, r9, 1
+        addi r1, r1, 64
+        addi r2, r2, 1
+        j top
+    done:
+        halt";
+
+    /// The natural p-thread for STREAM: triggered by the induction addi,
+    /// runs several iterations ahead.
+    fn stream_pthread(unroll: usize) -> StaticPThread {
+        let mut body = Vec::new();
+        for _ in 0..unroll {
+            body.push(Inst::itype(Op::Addi, Reg::new(1), Reg::new(1), 64));
+        }
+        body.push(Inst::load(Op::Ld, Reg::new(4), Reg::new(1), 0));
+        StaticPThread {
+            trigger: 5,
+            targets: vec![4],
+            body,
+            dc_trig: 2048,
+            dc_ptcm: 2048,
+            advantage: Advantage {
+                scdh_pt: 0.0,
+                scdh_mt: 0.0,
+                lt: 70.0,
+                oh: 0.0,
+                lt_agg: 0.0,
+                oh_agg: 0.0,
+                adv_agg: 1.0,
+                full_coverage: true,
+            },
+        }
+    }
+
+    #[test]
+    fn alu_loop_ipc_reasonable() {
+        let r = run("li r1, 10000\nli r2, 0\ntop: addi r2, r2, 1\nblt r2, r1, top\nhalt");
+        let ipc = r.ipc();
+        // A 2-instruction dependent loop on an 8-wide machine: limited by
+        // the addi chain (1/cycle) -> about 2 IPC, minus predictor warmup.
+        assert!(ipc > 1.0 && ipc < 4.0, "ipc {ipc}");
+    }
+
+    /// A pointer chase through a random permutation — the paper's
+    /// archetypal problem load: addresses are serialized (no MLP) and
+    /// defeat address prediction. Each iteration also does a dependent
+    /// ALU chain, which is the main-thread work a p-thread gets to skip.
+    fn chase_program(hops: i64) -> preexec_isa::Program {
+        use preexec_isa::ProgramBuilder;
+        const ENTRIES: usize = 1 << 16; // 512 KB table, 2x the L2
+        const BASE: u64 = 0x100000;
+        // Single-cycle random permutation via an LCG-driven Sattolo shuffle.
+        let mut perm: Vec<u64> = (0..ENTRIES as u64).collect();
+        let mut x: u64 = 0x1234_5678_9abc_def0;
+        for i in (1..ENTRIES).rev() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (x >> 33) as usize % i;
+            perm.swap(i, j);
+        }
+        let mut bytes = vec![0u8; ENTRIES * 8];
+        for (i, &next) in perm.iter().enumerate() {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&next.to_le_bytes());
+        }
+        let mut b = ProgramBuilder::new("chase");
+        let (tbl, i, n, cur, tmp, acc) =
+            (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4), Reg::new(5), Reg::new(9));
+        b.li(tbl, BASE as i64);
+        b.li(i, 0);
+        b.li(n, hops);
+        b.li(cur, 0);
+        b.label("top");
+        b.bge(i, n, "done");
+        b.sll(tmp, cur, 3);
+        b.add(tmp, tmp, tbl);
+        b.ld(cur, 0, tmp); // cur = perm[cur]: the problem load
+        b.add(acc, acc, cur);
+        for _ in 0..8 {
+            b.addi(acc, acc, 1); // dependent main-thread work
+        }
+        b.addi(i, i, 1);
+        b.j("top");
+        b.label("done");
+        b.halt();
+        b.data(BASE, bytes);
+        b.build().unwrap()
+    }
+
+    /// The natural chase p-thread: triggered at the problem load, its body
+    /// chases `k` nodes ahead, skipping the main thread's ALU work.
+    fn chase_pthread(k: usize) -> StaticPThread {
+        let (tbl, cur, tmp) = (Reg::new(1), Reg::new(4), Reg::new(5));
+        let mut body = Vec::new();
+        for _ in 0..k {
+            body.push(Inst::itype(Op::Sll, tmp, cur, 3));
+            body.push(Inst::rtype(Op::Add, tmp, tmp, tbl));
+            body.push(Inst::load(Op::Ld, cur, tmp, 0));
+        }
+        StaticPThread {
+            trigger: 7, // the chase load's PC in chase_program
+            targets: vec![7],
+            body,
+            dc_trig: 0,
+            dc_ptcm: 0,
+            advantage: Advantage {
+                scdh_pt: 0.0,
+                scdh_mt: 0.0,
+                lt: 70.0,
+                oh: 0.0,
+                lt_agg: 0.0,
+                oh_agg: 0.0,
+                adv_agg: 1.0,
+                full_coverage: true,
+            },
+        }
+    }
+
+    #[test]
+    fn pointer_chase_is_memory_bound() {
+        let p = chase_program(1500);
+        let r = simulate(&p, &[], &SimConfig::default());
+        assert!(r.ipc() < 0.5, "serialized misses must hurt: {}", r.ipc());
+        assert!(r.mem.l2_misses > 1200, "misses {}", r.mem.l2_misses);
+    }
+
+    #[test]
+    fn perfect_l2_is_faster() {
+        let p = chase_program(1500);
+        let base = simulate(&p, &[], &SimConfig::default());
+        let perfect = simulate(
+            &p,
+            &[],
+            &SimConfig { perfect_l2: true, ..SimConfig::default() },
+        );
+        assert!(
+            perfect.ipc() > 2.0 * base.ipc(),
+            "{} vs {}",
+            perfect.ipc(),
+            base.ipc()
+        );
+        assert_eq!(perfect.mem.l2_misses, 0);
+    }
+
+    #[test]
+    fn pthreads_cover_misses_and_speed_up() {
+        let p = chase_program(1500);
+        let base = simulate(&p, &[], &SimConfig::default());
+        let assisted = simulate(&p, &[chase_pthread(4)], &SimConfig::default());
+        assert!(assisted.launches > 1000, "launches {}", assisted.launches);
+        assert!(
+            assisted.covered() > base.mem.l2_misses / 4,
+            "covered {} of {}",
+            assisted.covered(),
+            base.mem.l2_misses
+        );
+        assert!(
+            assisted.ipc() > 1.1 * base.ipc(),
+            "pre-execution should help: {} vs {}",
+            assisted.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn deeper_chasing_gives_more_coverage() {
+        let p = chase_program(1500);
+        let shallow = simulate(&p, &[chase_pthread(1)], &SimConfig::default());
+        let deep = simulate(&p, &[chase_pthread(4)], &SimConfig::default());
+        assert!(
+            deep.mem.covered_full >= shallow.mem.covered_full,
+            "deeper lookahead must not fully-cover fewer: {} vs {}",
+            deep.mem.covered_full,
+            shallow.mem.covered_full
+        );
+    }
+
+    #[test]
+    fn overhead_modes_do_not_prefetch() {
+        let p = assemble("t", STREAM).unwrap();
+        let pt = stream_pthread(4);
+        for mode in [SimMode::OverheadExecute, SimMode::OverheadSequence] {
+            let r = simulate(&p, &[pt.clone()], &SimConfig { mode, ..SimConfig::default() });
+            assert_eq!(r.covered(), 0, "{mode:?} must not prefetch");
+        }
+    }
+
+    #[test]
+    fn overhead_modes_slow_down_or_match_base() {
+        let p = assemble("t", STREAM).unwrap();
+        let base = simulate(&p, &[], &SimConfig::default());
+        let pt = stream_pthread(4);
+        let oh = simulate(
+            &p,
+            &[pt],
+            &SimConfig { mode: SimMode::OverheadExecute, ..SimConfig::default() },
+        );
+        assert!(oh.ipc() <= base.ipc() * 1.02, "{} vs {}", oh.ipc(), base.ipc());
+    }
+
+    #[test]
+    fn lt_only_at_least_as_fast_as_normal() {
+        let p = assemble("t", STREAM).unwrap();
+        let pt = stream_pthread(4);
+        let normal = simulate(&p, &[pt.clone()], &SimConfig::default());
+        let lt = simulate(
+            &p,
+            &[pt],
+            &SimConfig { mode: SimMode::LatencyToleranceOnly, ..SimConfig::default() },
+        );
+        assert!(lt.ipc() >= normal.ipc() * 0.98, "{} vs {}", lt.ipc(), normal.ipc());
+    }
+
+    #[test]
+    fn context_drops_counted() {
+        // A trigger with three p-threads launched every iteration on a
+        // 3-context machine: some launch requests must drop.
+        let p = assemble("t", STREAM).unwrap();
+        let pts: Vec<StaticPThread> = (0..4).map(|_| stream_pthread(8)).collect();
+        let r = simulate(&p, &pts, &SimConfig::default());
+        assert!(r.drops > 0);
+    }
+
+    #[test]
+    fn result_accessors() {
+        let r = run("li r1, 1\nhalt");
+        assert_eq!(r.insts, 2);
+        assert!(r.cycles > 0);
+        assert_eq!(r.launches, 0);
+        assert_eq!(r.avg_pthread_len(), 0.0);
+        assert_eq!(r.overhead(), 0.0);
+    }
+
+    #[test]
+    fn max_insts_respected() {
+        let p = assemble("t", STREAM).unwrap();
+        let r = simulate(&p, &[], &SimConfig { max_insts: 500, ..SimConfig::default() });
+        assert!(r.insts >= 500 && r.insts < 600);
+    }
+
+    #[test]
+    fn store_forwarding_is_fast() {
+        let r = run(
+            "li r1, 0x100000\n li r2, 42\n sd r2, 0(r1)\n ld r3, 0(r1)\n halt",
+        );
+        // The load forwards from the store queue: total run far below a
+        // double memory-latency round trip.
+        assert!(r.cycles < 100, "cycles {}", r.cycles);
+    }
+
+    #[test]
+    fn branch_heavy_code_pays_mispredictions() {
+        // Data-dependent branches on an LCG-generated pseudo-random bit.
+        let r = run(
+            "li r1, 0\n li r2, 6000\n li r5, 12345\n li r8, 6364136223846793005\n li r9, 1442695040888963407\n\
+             top: bge r1, r2, done\n\
+             mul r5, r5, r8\n add r5, r5, r9\n srl r6, r5, 33\n andi r6, r6, 1\n\
+             beq r6, r0, skip\n addi r7, r7, 1\n\
+             skip: addi r1, r1, 1\n j top\n done: halt",
+        );
+        assert!(r.mispredicts > 1000, "random branch mispredicts: {}", r.mispredicts);
+    }
+}

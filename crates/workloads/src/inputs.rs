@@ -1,0 +1,85 @@
+//! Input datasets: train, test, and an alternate train-scale input.
+
+/// Which input dataset a kernel is built with.
+///
+/// Mirrors the paper's §4.4 input-dataset experiment (Figure 7): p-threads
+/// are normally selected and measured on `Train`; the *static* selection
+/// scenario selects on `Test` profiles (smaller working sets — for
+/// `twolf` and `vpr.p` small enough to fit the L2, which makes the static
+/// scenario select no p-threads at all); `Alt` is a same-scale input with
+/// different data, modeling a different run of the same program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InputSet {
+    /// The reference (measurement) input.
+    #[default]
+    Train,
+    /// A reduced input, as shipped for compile-time profiling.
+    Test,
+    /// A different same-scale input (different seed/distribution).
+    Alt,
+}
+
+impl InputSet {
+    /// A deterministic per-input seed component.
+    pub fn seed(self) -> u64 {
+        match self {
+            InputSet::Train => 0x7261_696e,
+            InputSet::Test => 0x7465_7374,
+            InputSet::Alt => 0x616c_7400,
+        }
+    }
+
+    /// Scales a train-sized table: test inputs use `test_fraction`
+    /// (at least 64 entries, rounded **down** to a power of two so that
+    /// `size - 1` masks stay dense), alt inputs keep train scale.
+    pub fn scale(self, train_size: usize, test_fraction: f64) -> usize {
+        match self {
+            InputSet::Train | InputSet::Alt => train_size,
+            InputSet::Test => {
+                let raw = ((train_size as f64 * test_fraction) as usize).max(64);
+                // Previous power of two.
+                1usize << (usize::BITS - 1 - raw.leading_zeros())
+            }
+        }
+    }
+
+    /// All input sets.
+    pub fn all() -> [InputSet; 3] {
+        [InputSet::Train, InputSet::Test, InputSet::Alt]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InputSet::Train => "train",
+            InputSet::Test => "test",
+            InputSet::Alt => "alt",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ() {
+        assert_ne!(InputSet::Train.seed(), InputSet::Test.seed());
+        assert_ne!(InputSet::Train.seed(), InputSet::Alt.seed());
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(InputSet::Train.scale(1000, 0.1), 1000);
+        assert_eq!(InputSet::Alt.scale(1000, 0.1), 1000);
+        assert_eq!(InputSet::Test.scale(1000, 0.1), 64); // 100 rounded down to pow2
+        assert_eq!(InputSet::Test.scale(100, 0.01), 64); // floor
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(InputSet::Train.name(), "train");
+        assert_eq!(InputSet::Test.name(), "test");
+        assert_eq!(InputSet::Alt.name(), "alt");
+    }
+}

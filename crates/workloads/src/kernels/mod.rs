@@ -1,0 +1,44 @@
+//! The ten kernels, one module per SPEC2000int benchmark analogue.
+//!
+//! Every kernel follows the same conventions:
+//! - `build(input)` returns a complete [`preexec_isa::Program`] with its
+//!   data image, deterministic in `(kernel, input)`;
+//! - problem tables are sized well beyond the 256 KB L2 for `Train`/`Alt`
+//!   (except the `Test` inputs of `twolf` and `vpr.p`, which fit, as in
+//!   the paper's Figure-7 observation);
+//! - data is generated with the crate-local seeded LCG so runs are
+//!   reproducible without external files;
+//! - registers `r1..r27` are used freely; `r28..r31` are left untouched.
+
+pub mod bzip2;
+pub mod crafty;
+pub mod gap;
+pub mod gcc;
+pub mod mcf;
+pub mod parser;
+pub mod twolf;
+pub mod vortex;
+pub mod vpr_place;
+pub mod vpr_route;
+
+/// Base address of the first data table; kernels space their tables far
+/// apart so segments never collide.
+pub(crate) const DATA_BASE: u64 = 0x0100_0000;
+
+/// Spacing between tables (64 MB): larger than any table.
+pub(crate) const TABLE_STRIDE: u64 = 0x0400_0000;
+
+/// The address of table `i`.
+pub(crate) fn table_base(i: u64) -> u64 {
+    DATA_BASE + i * TABLE_STRIDE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_bases_are_spaced() {
+        assert!(table_base(1) - table_base(0) >= 32 * 1024 * 1024);
+    }
+}
