@@ -8,7 +8,7 @@ use crate::{scdh, Body, SelectionParams};
 /// Fields mirror the columns of the paper's Figure 2: per-instance latency
 /// tolerance and overhead, their aggregates over the candidate's dynamic
 /// instances, and the final score.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Advantage {
     /// `SCDH_pt`: estimated cycles for the p-thread to reach the miss.
     pub scdh_pt: f64,

@@ -1,0 +1,69 @@
+//! Typed errors for the selection layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// A rejected [`SelectionParams`](crate::SelectionParams) field. Each
+/// invalid field maps to a distinct variant carrying the offending value,
+/// so callers (and tests) can tell *which* parameter was bad.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamsError {
+    /// `bw_seq` was NaN, infinite, zero, or negative.
+    BadBwSeq(f64),
+    /// `ipc` was NaN, infinite, zero, or negative.
+    BadIpc(f64),
+    /// `ipc` exceeded `bw_seq` (a program cannot retire faster than the
+    /// processor sequences).
+    IpcExceedsWidth {
+        /// The offending IPC.
+        ipc: f64,
+        /// The sequencing width it exceeded.
+        bw_seq: f64,
+    },
+    /// `miss_latency` was NaN, infinite, zero, or negative.
+    BadMissLatency(f64),
+    /// `max_pthread_len` was zero.
+    ZeroMaxPthreadLen,
+    /// `slicing_scope` was zero.
+    ZeroSlicingScope,
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::BadBwSeq(v) => {
+                write!(f, "bw_seq must be positive and finite, got {v}")
+            }
+            ParamsError::BadIpc(v) => {
+                write!(f, "ipc must be positive and finite, got {v}")
+            }
+            ParamsError::IpcExceedsWidth { ipc, bw_seq } => {
+                write!(f, "ipc must be in (0, bw_seq]: ipc {ipc} exceeds bw_seq {bw_seq}")
+            }
+            ParamsError::BadMissLatency(v) => {
+                write!(f, "miss_latency must be positive and finite, got {v}")
+            }
+            ParamsError::ZeroMaxPthreadLen => write!(f, "max_pthread_len must be positive"),
+            ParamsError::ZeroSlicingScope => write!(f, "slicing_scope must be positive"),
+        }
+    }
+}
+
+impl Error for ParamsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        assert!(ParamsError::BadBwSeq(f64::NAN).to_string().contains("bw_seq"));
+        assert!(ParamsError::BadIpc(-1.0).to_string().contains("ipc"));
+        assert!(ParamsError::IpcExceedsWidth { ipc: 9.0, bw_seq: 8.0 }
+            .to_string()
+            .contains("exceeds"));
+        assert!(ParamsError::BadMissLatency(0.0).to_string().contains("miss_latency"));
+        assert!(ParamsError::ZeroMaxPthreadLen.to_string().contains("max_pthread_len"));
+        assert!(ParamsError::ZeroSlicingScope.to_string().contains("slicing_scope"));
+    }
+}

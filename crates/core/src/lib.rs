@@ -52,6 +52,7 @@
 pub mod advantage;
 pub mod body;
 pub mod candidate;
+pub mod error;
 pub mod merge;
 pub mod optimize;
 pub mod params;
@@ -63,6 +64,7 @@ pub mod select;
 pub use advantage::{aggregate_advantage, Advantage};
 pub use body::{Body, BodyInst};
 pub use candidate::candidate_body;
+pub use error::ParamsError;
 pub use merge::merge_pthreads;
 pub use optimize::optimize_body;
 pub use params::SelectionParams;

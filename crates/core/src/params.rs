@@ -1,5 +1,7 @@
 //! Selection parameters: the paper's "few intuitive high level parameters".
 
+use crate::ParamsError;
+
 /// Parameters of the aggregate-advantage model and the selection process.
 ///
 /// These are exactly the inputs the paper's p-thread selection tool takes
@@ -78,19 +80,38 @@ impl SelectionParams {
     /// Panics if any quantity is non-positive, non-finite, or if the IPC
     /// exceeds the sequencing width.
     pub fn validate(&self) {
-        assert!(
-            self.bw_seq.is_finite() && self.bw_seq > 0.0,
-            "bw_seq must be positive"
-        );
-        assert!(
-            self.ipc.is_finite() && self.ipc > 0.0 && self.ipc <= self.bw_seq,
-            "ipc must be in (0, bw_seq]"
-        );
-        assert!(
-            self.miss_latency.is_finite() && self.miss_latency > 0.0,
-            "miss_latency must be positive"
-        );
-        assert!(self.max_pthread_len > 0, "max_pthread_len must be positive");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`validate`](Self::validate): every invalid field maps to
+    /// a distinct [`ParamsError`] variant (the first offending field, in
+    /// declaration order, is reported).
+    ///
+    /// # Errors
+    ///
+    /// Returns the variant naming the invalid field.
+    pub fn try_validate(&self) -> Result<(), ParamsError> {
+        if !(self.bw_seq.is_finite() && self.bw_seq > 0.0) {
+            return Err(ParamsError::BadBwSeq(self.bw_seq));
+        }
+        if !(self.ipc.is_finite() && self.ipc > 0.0) {
+            return Err(ParamsError::BadIpc(self.ipc));
+        }
+        if self.ipc > self.bw_seq {
+            return Err(ParamsError::IpcExceedsWidth { ipc: self.ipc, bw_seq: self.bw_seq });
+        }
+        if !(self.miss_latency.is_finite() && self.miss_latency > 0.0) {
+            return Err(ParamsError::BadMissLatency(self.miss_latency));
+        }
+        if self.max_pthread_len == 0 {
+            return Err(ParamsError::ZeroMaxPthreadLen);
+        }
+        if self.slicing_scope == 0 {
+            return Err(ParamsError::ZeroSlicingScope);
+        }
+        Ok(())
     }
 }
 
@@ -154,5 +175,56 @@ mod tests {
     #[should_panic(expected = "ipc")]
     fn validate_rejects_ipc_above_width() {
         SelectionParams { ipc: 9.0, ..SelectionParams::default() }.validate();
+    }
+
+    #[test]
+    fn try_validate_maps_each_field_to_a_distinct_variant() {
+        use crate::ParamsError;
+        let base = SelectionParams::default;
+        assert!(matches!(
+            SelectionParams { bw_seq: f64::NAN, ..base() }.try_validate(),
+            Err(ParamsError::BadBwSeq(_))
+        ));
+        assert!(matches!(
+            SelectionParams { bw_seq: -8.0, ..base() }.try_validate(),
+            Err(ParamsError::BadBwSeq(_))
+        ));
+        assert!(matches!(
+            SelectionParams { bw_seq: 0.0, ..base() }.try_validate(),
+            Err(ParamsError::BadBwSeq(_))
+        ));
+        assert!(matches!(
+            SelectionParams { ipc: f64::NAN, ..base() }.try_validate(),
+            Err(ParamsError::BadIpc(_))
+        ));
+        assert!(matches!(
+            SelectionParams { ipc: -1.0, ..base() }.try_validate(),
+            Err(ParamsError::BadIpc(_))
+        ));
+        assert!(matches!(
+            SelectionParams { ipc: 0.0, ..base() }.try_validate(),
+            Err(ParamsError::BadIpc(_))
+        ));
+        assert!(matches!(
+            SelectionParams { ipc: 9.0, ..base() }.try_validate(),
+            Err(ParamsError::IpcExceedsWidth { .. })
+        ));
+        assert!(matches!(
+            SelectionParams { miss_latency: f64::INFINITY, ..base() }.try_validate(),
+            Err(ParamsError::BadMissLatency(_))
+        ));
+        assert!(matches!(
+            SelectionParams { miss_latency: 0.0, ..base() }.try_validate(),
+            Err(ParamsError::BadMissLatency(_))
+        ));
+        assert!(matches!(
+            SelectionParams { max_pthread_len: 0, ..base() }.try_validate(),
+            Err(ParamsError::ZeroMaxPthreadLen)
+        ));
+        assert!(matches!(
+            SelectionParams { slicing_scope: 0, ..base() }.try_validate(),
+            Err(ParamsError::ZeroSlicingScope)
+        ));
+        assert_eq!(base().try_validate(), Ok(()));
     }
 }

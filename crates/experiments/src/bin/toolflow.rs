@@ -4,27 +4,83 @@
 //! configurations quickly, without re-tracing.
 //!
 //! Usage: `toolflow [workload] [budget] [out.slices]`
+//!        `toolflow --read <file.slices>` (selection only, no re-tracing)
+//!
+//! Exit codes:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | success |
+//! | 2 | usage error: unknown workload or unparsable budget |
+//! | 3 | filesystem I/O error |
+//! | 4 | corrupt slice file (recovered results, if any, are still printed) |
+//! | 5 | pipeline fault (trace/slice/selection error) |
 
 use preexec_core::{select_pthreads, SelectionParams};
-use preexec_experiments::pipeline::trace_and_slice_warm;
-use preexec_slice::{read_forest, write_forest};
+use preexec_experiments::pipeline::try_trace_and_slice_warm;
+use preexec_slice::{read_forest, read_forest_lenient, write_forest, SliceForest};
 use preexec_workloads::{suite, InputSet};
+use std::process::ExitCode;
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let name = args.next().unwrap_or_else(|| "vpr.r".to_string());
-    let budget: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(150_000);
-    let path = args.next().unwrap_or_else(|| format!("{name}.slices"));
+/// A CLI failure: the message for stderr plus the process exit code.
+struct Failure {
+    code: u8,
+    message: String,
+}
 
-    let w = suite()
-        .into_iter()
-        .find(|w| w.name == name)
-        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+impl Failure {
+    fn new(code: u8, message: impl Into<String>) -> Failure {
+        Failure { code, message: message.into() }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(f) => {
+            eprintln!("toolflow: {}", f.message);
+            ExitCode::from(f.code)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Failure> {
+    // Selection-only mode: the whole point of the decoupled toolflow is
+    // that pass 2 can rerun without re-tracing.
+    if args.first().map(String::as_str) == Some("--read") {
+        let path = args
+            .get(1)
+            .ok_or_else(|| Failure::new(2, "usage: toolflow --read <file.slices>"))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Failure::new(3, format!("reading {path}: {e}")))?;
+        return read_and_select(path, &text);
+    }
+
+    let name = args.first().map(String::as_str).unwrap_or("vpr.r").to_string();
+    let budget: u64 = match args.get(1) {
+        None => 150_000,
+        Some(s) => s
+            .parse()
+            .map_err(|_| Failure::new(2, format!("budget `{s}` is not a number")))?,
+    };
+    let path = args.get(2).cloned().unwrap_or_else(|| format!("{name}.slices"));
+
+    let workloads = suite();
+    let w = workloads.iter().find(|w| w.name == name).ok_or_else(|| {
+        let names: Vec<&str> = workloads.iter().map(|w| w.name).collect();
+        Failure::new(
+            2,
+            format!("unknown workload `{name}`; available: {}", names.join(", ")),
+        )
+    })?;
     let program = w.build(InputSet::Train);
 
     // Pass 1 (expensive, once): trace and slice, write the file.
-    let (forest, stats) = trace_and_slice_warm(&program, 1024, 32, budget, budget / 4);
-    std::fs::write(&path, write_forest(&forest)).expect("write slice file");
+    let (forest, stats) = try_trace_and_slice_warm(&program, 1024, 32, budget, budget / 4)
+        .map_err(|e| Failure::new(5, format!("tracing {name}: {e}")))?;
+    std::fs::write(&path, write_forest(&forest))
+        .map_err(|e| Failure::new(3, format!("writing {path}: {e}")))?;
     println!(
         "{name}: traced {} insts, {} L2 misses -> {} slice trees written to {path}",
         stats.insts,
@@ -34,15 +90,57 @@ fn main() {
 
     // Pass 2 (cheap, many times): read the file back and select p-thread
     // sets for several configurations.
-    let text = std::fs::read_to_string(&path).expect("read slice file");
-    let forest = read_forest(&text).expect("parse slice file");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| Failure::new(3, format!("reading {path}: {e}")))?;
+    read_and_select(&path, &text)
+}
+
+/// Pass 2: parse a slice file (strictly, with best-effort recovery on
+/// corruption) and report p-thread selections.
+fn read_and_select(path: &str, text: &str) -> Result<(), Failure> {
+    match read_forest(text) {
+        Ok(forest) => select_and_report(&forest),
+        Err(strict_err) => {
+            // Corruption always exits nonzero, but salvage what we can
+            // first: a partially recovered forest still yields a usable
+            // (if under-covered) p-thread set.
+            eprintln!("toolflow: {path}: {strict_err}");
+            let recovered = read_forest_lenient(text);
+            for d in &recovered.diagnostics {
+                eprintln!("toolflow: {path}: {d}");
+            }
+            if recovered.forest.num_trees() > 0 {
+                eprintln!(
+                    "toolflow: {path}: recovered {} trees ({} skipped); results below are partial",
+                    recovered.forest.num_trees(),
+                    recovered.skipped_trees
+                );
+                select_and_report(&recovered.forest)?;
+            }
+            Err(Failure::new(
+                4,
+                format!(
+                    "{path}: corrupt slice file ({} trees recovered, {} skipped)",
+                    recovered.forest.num_trees(),
+                    recovered.skipped_trees
+                ),
+            ))
+        }
+    }
+}
+
+/// Selects and prints p-thread sets for several machine configurations.
+fn select_and_report(forest: &SliceForest) -> Result<(), Failure> {
     for (label, params) in [
         ("8-wide, 78-cycle misses", SelectionParams { bw_seq: 8.0, ipc: 0.5, miss_latency: 78.0, ..SelectionParams::default() }),
         ("8-wide, 148-cycle misses", SelectionParams { bw_seq: 8.0, ipc: 0.5, miss_latency: 148.0, ..SelectionParams::default() }),
         ("4-wide, 78-cycle misses", SelectionParams { bw_seq: 4.0, ipc: 0.5, miss_latency: 78.0, ..SelectionParams::default() }),
         ("no optimization", SelectionParams { ipc: 0.5, optimize: false, ..SelectionParams::default() }),
     ] {
-        let sel = select_pthreads(&forest, &params);
+        params
+            .try_validate()
+            .map_err(|e| Failure::new(5, format!("selection parameters [{label}]: {e}")))?;
+        let sel = select_pthreads(forest, &params);
         println!(
             "  [{label}] {} p-threads, predicted coverage {}/{} misses, avg len {:.1}",
             sel.pthreads.len(),
@@ -51,4 +149,5 @@ fn main() {
             sel.prediction.avg_pthread_len
         );
     }
+    Ok(())
 }

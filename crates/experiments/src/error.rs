@@ -1,0 +1,136 @@
+//! Typed errors for the experiment pipeline.
+//!
+//! [`PipelineError`] is the top of the workspace's error taxonomy: every
+//! fault a full trace → slice → select → simulate run can hit surfaces
+//! here, either as a pipeline-level configuration problem or as a wrapped
+//! error from the layer that detected it.
+
+use preexec_core::ParamsError;
+use preexec_func::ExecError;
+use preexec_slice::SliceError;
+use preexec_timing::{MachineError, SimError};
+use std::error::Error;
+use std::fmt;
+
+/// Any error a pipeline run can produce.
+///
+/// Configuration variants name the offending [`PipelineConfig`] field and
+/// carry the rejected value; wrapper variants delegate to the layer that
+/// produced them and expose it through [`Error::source`].
+///
+/// [`PipelineConfig`]: crate::PipelineConfig
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// `scope` was zero.
+    ZeroScope,
+    /// `max_slice_len` was zero.
+    ZeroMaxSliceLen,
+    /// `max_pthread_len` was zero.
+    ZeroMaxPthreadLen,
+    /// `budget` was zero: nothing would be traced or simulated.
+    ZeroBudget,
+    /// `model_miss_latency` was overridden with a NaN, infinite, negative,
+    /// or zero value.
+    BadModelMissLatency(f64),
+    /// `model_width` was overridden with a NaN, infinite, negative, or
+    /// zero value.
+    BadModelWidth(f64),
+    /// The machine parameters failed validation.
+    Machine(MachineError),
+    /// The derived selection parameters failed validation.
+    Params(ParamsError),
+    /// The functional trace faulted.
+    Exec(ExecError),
+    /// Slicing failed.
+    Slice(SliceError),
+    /// The timing simulator faulted.
+    Sim(SimError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::ZeroScope => write!(f, "slicing scope must be positive"),
+            PipelineError::ZeroMaxSliceLen => {
+                write!(f, "max slice length must be positive")
+            }
+            PipelineError::ZeroMaxPthreadLen => {
+                write!(f, "max p-thread length must be positive")
+            }
+            PipelineError::ZeroBudget => {
+                write!(f, "instruction budget must be positive")
+            }
+            PipelineError::BadModelMissLatency(x) => {
+                write!(f, "model miss latency override must be finite and positive, got {x}")
+            }
+            PipelineError::BadModelWidth(x) => {
+                write!(f, "model width override must be finite and positive, got {x}")
+            }
+            PipelineError::Machine(e) => write!(f, "invalid machine configuration: {e}"),
+            PipelineError::Params(e) => write!(f, "invalid selection parameters: {e}"),
+            PipelineError::Exec(e) => write!(f, "functional trace fault: {e}"),
+            PipelineError::Slice(e) => write!(f, "slicing fault: {e}"),
+            PipelineError::Sim(e) => write!(f, "timing simulation fault: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Machine(e) => Some(e),
+            PipelineError::Params(e) => Some(e),
+            PipelineError::Exec(e) => Some(e),
+            PipelineError::Slice(e) => Some(e),
+            PipelineError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for PipelineError {
+    fn from(e: MachineError) -> PipelineError {
+        PipelineError::Machine(e)
+    }
+}
+
+impl From<ParamsError> for PipelineError {
+    fn from(e: ParamsError) -> PipelineError {
+        PipelineError::Params(e)
+    }
+}
+
+impl From<ExecError> for PipelineError {
+    fn from(e: ExecError) -> PipelineError {
+        PipelineError::Exec(e)
+    }
+}
+
+impl From<SliceError> for PipelineError {
+    fn from(e: SliceError) -> PipelineError {
+        PipelineError::Slice(e)
+    }
+}
+
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> PipelineError {
+        PipelineError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapped_errors_expose_sources() {
+        let e: PipelineError = MachineError::ZeroWidth.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("machine"));
+        let e: PipelineError = ParamsError::ZeroMaxPthreadLen.into();
+        assert!(e.source().is_some());
+        let e = PipelineError::ZeroBudget;
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("budget"));
+    }
+}

@@ -28,11 +28,15 @@
 //! | `fig8` | memory-latency cross-validation |
 //! | `width_xval` | processor-width cross-validation (§4.5, stated) |
 
+pub mod error;
+pub mod fault;
 pub mod figures;
 pub mod fmt;
 pub mod pipeline;
 pub mod tables;
 
+pub use error::PipelineError;
 pub use pipeline::{
-    run_pipeline, trace_and_slice, trace_and_slice_warm, PipelineConfig, PipelineResult,
+    run_pipeline, trace_and_slice, trace_and_slice_warm, try_run_pipeline,
+    try_trace_and_slice_warm, PipelineConfig, PipelineResult,
 };

@@ -1,11 +1,12 @@
 //! The trace → slice → select → simulate pipeline.
 
+use crate::PipelineError;
 use preexec_core::{select_pthreads, Selection, SelectionParams, StaticPThread};
-use preexec_func::{run_trace, RunStats, TraceConfig};
+use preexec_func::{try_run_trace, ExecError, RunStats, TraceConfig};
 use preexec_isa::Program;
 use preexec_mem::HierarchyConfig;
 use preexec_slice::{SliceForest, SliceForestBuilder};
-use preexec_timing::{simulate, MachineParams, SimConfig, SimMode, SimResult};
+use preexec_timing::{try_simulate, MachineParams, SimConfig, SimMode, SimResult};
 
 /// Configuration of one pipeline run.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +53,52 @@ impl PipelineConfig {
             budget,
             warmup: budget / 4,
         }
+    }
+
+    /// Validates the configuration, panicking on the first bad field.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`try_validate`](Self::try_validate) error message.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks every field, returning the [`PipelineError`] variant naming
+    /// the first invalid one.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero `scope`, `max_slice_len`, `max_pthread_len`, or
+    /// `budget`; NaN, infinite, or non-positive `model_miss_latency` /
+    /// `model_width` overrides; and invalid machine parameters.
+    pub fn try_validate(&self) -> Result<(), PipelineError> {
+        self.machine.try_validate()?;
+        if self.scope == 0 {
+            return Err(PipelineError::ZeroScope);
+        }
+        if self.max_slice_len == 0 {
+            return Err(PipelineError::ZeroMaxSliceLen);
+        }
+        if self.max_pthread_len == 0 {
+            return Err(PipelineError::ZeroMaxPthreadLen);
+        }
+        if self.budget == 0 {
+            return Err(PipelineError::ZeroBudget);
+        }
+        if let Some(x) = self.model_miss_latency {
+            if !x.is_finite() || x <= 0.0 {
+                return Err(PipelineError::BadModelMissLatency(x));
+            }
+        }
+        if let Some(x) = self.model_width {
+            if !x.is_finite() || x <= 0.0 {
+                return Err(PipelineError::BadModelWidth(x));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -112,6 +159,11 @@ pub fn trace_and_slice(
 /// [`trace_and_slice`] with a cache warm-up prefix: the first `warmup`
 /// instructions touch the caches but produce no trace events, so cold
 /// misses do not masquerade as steady-state problem loads.
+///
+/// # Panics
+///
+/// Panics on a zero scope or slice length, or if the trace faults; use
+/// [`try_trace_and_slice_warm`] to handle those as typed errors.
 pub fn trace_and_slice_warm(
     program: &Program,
     scope: usize,
@@ -119,7 +171,27 @@ pub fn trace_and_slice_warm(
     budget: u64,
     warmup: u64,
 ) -> (SliceForest, RunStats) {
-    let mut builder = SliceForestBuilder::new(scope, max_slice_len);
+    match try_trace_and_slice_warm(program, scope, max_slice_len, budget, warmup) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`trace_and_slice_warm`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Slice`] for invalid slicing parameters and
+/// [`PipelineError::Exec`] if the functional trace faults (e.g. a memory
+/// instruction reports no cache level).
+pub fn try_trace_and_slice_warm(
+    program: &Program,
+    scope: usize,
+    max_slice_len: usize,
+    budget: u64,
+    warmup: u64,
+) -> Result<(SliceForest, RunStats), PipelineError> {
+    let mut builder = SliceForestBuilder::try_new(scope, max_slice_len)?;
     let config = TraceConfig {
         hierarchy: HierarchyConfig::paper_default(),
         max_steps: warmup.saturating_add(budget),
@@ -129,7 +201,13 @@ pub fn trace_and_slice_warm(
     // early measured slices can reach back through them) but are not
     // counted or sliced.
     let mut stats = RunStats::new();
-    let full = run_trace(program, &config, |d| {
+    // The sink cannot return early, so a malformed delta is latched here
+    // and surfaced once the trace stops.
+    let mut sink_fault: Option<ExecError> = None;
+    let full = try_run_trace(program, &config, |d| {
+        if sink_fault.is_some() {
+            return;
+        }
         if d.seq < warmup {
             builder.observe_warmup(d);
             return;
@@ -137,12 +215,24 @@ pub fn trace_and_slice_warm(
         builder.observe(d);
         stats.insts += 1;
         match d.inst.op.class() {
-            preexec_isa::OpClass::Load => {
-                stats.record_load(d.pc, d.level.expect("load has level"));
-            }
-            preexec_isa::OpClass::Store => {
-                stats.record_store(d.level.expect("store has level"));
-            }
+            preexec_isa::OpClass::Load => match d.level {
+                Some(level) => stats.record_load(d.pc, level),
+                None => {
+                    sink_fault = Some(ExecError::Malformed {
+                        pc: d.pc,
+                        reason: "load reported no cache level",
+                    });
+                }
+            },
+            preexec_isa::OpClass::Store => match d.level {
+                Some(level) => stats.record_store(level),
+                None => {
+                    sink_fault = Some(ExecError::Malformed {
+                        pc: d.pc,
+                        reason: "store reported no cache level",
+                    });
+                }
+            },
             preexec_isa::OpClass::Branch => {
                 stats.branches += 1;
                 if d.taken {
@@ -151,9 +241,12 @@ pub fn trace_and_slice_warm(
             }
             _ => {}
         }
-    });
+    })?;
+    if let Some(e) = sink_fault {
+        return Err(e.into());
+    }
     stats.total_steps = full.total_steps;
-    (builder.finish(), stats)
+    Ok((builder.finish(), stats))
 }
 
 /// The [`SelectionParams`] implied by a pipeline config and a measured
@@ -174,70 +267,136 @@ pub fn selection_params(cfg: &PipelineConfig, base_ipc: f64) -> SelectionParams 
     }
 }
 
+/// The [`SimConfig`] a pipeline config implies at a given instruction
+/// budget.
+fn sim_config(cfg: &PipelineConfig, mode: SimMode, budget: u64) -> SimConfig {
+    SimConfig {
+        machine: cfg.machine,
+        mode,
+        perfect_l2: false,
+        max_insts: budget,
+        max_cycles: budget.saturating_mul(64).max(1 << 22),
+        ..SimConfig::default()
+    }
+}
+
 /// Runs a timing simulation of `program` with `pthreads` under `cfg`.
+///
+/// # Panics
+///
+/// Panics on invalid machine parameters or a main-thread fault; use
+/// [`try_sim`] to handle those as typed errors.
 pub fn sim(
     program: &Program,
     pthreads: &[StaticPThread],
     cfg: &PipelineConfig,
     mode: SimMode,
 ) -> SimResult {
-    simulate(
-        program,
-        pthreads,
-        &SimConfig {
-            machine: cfg.machine,
-            mode,
-            perfect_l2: false,
-            max_insts: cfg.budget,
-            max_cycles: cfg.budget.saturating_mul(64).max(1 << 22),
-        },
-    )
+    match try_sim(program, pthreads, cfg, mode) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`sim`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Sim`] if the machine parameters are invalid
+/// or the main thread executes a malformed instruction.
+pub fn try_sim(
+    program: &Program,
+    pthreads: &[StaticPThread],
+    cfg: &PipelineConfig,
+    mode: SimMode,
+) -> Result<SimResult, PipelineError> {
+    Ok(try_simulate(program, pthreads, &sim_config(cfg, mode, cfg.budget))?)
 }
 
 /// Full pipeline: trace, slice, select against the measured base IPC, and
 /// measure the assisted machine.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration or a simulator fault; use
+/// [`try_run_pipeline`] to handle those as typed errors.
 pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> PipelineResult {
-    let base = sim(program, &[], cfg, SimMode::Normal);
+    match try_run_pipeline(program, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`run_pipeline`]: validates the configuration up front, then
+/// traces, slices, selects, and simulates, propagating the first typed
+/// error from any stage.
+///
+/// # Errors
+///
+/// Configuration variants of [`PipelineError`] before any work starts;
+/// wrapped layer errors if a stage faults.
+pub fn try_run_pipeline(
+    program: &Program,
+    cfg: &PipelineConfig,
+) -> Result<PipelineResult, PipelineError> {
+    cfg.try_validate()?;
+    let base = try_sim(program, &[], cfg, SimMode::Normal)?;
     let (forest, stats) =
-        trace_and_slice_warm(program, cfg.scope, cfg.max_slice_len, cfg.budget, cfg.warmup);
+        try_trace_and_slice_warm(program, cfg.scope, cfg.max_slice_len, cfg.budget, cfg.warmup)?;
     let params = selection_params(cfg, base.ipc());
+    params.try_validate()?;
     let selection = select_pthreads(&forest, &params);
-    let assisted = sim(program, &selection.pthreads, cfg, SimMode::Normal);
-    PipelineResult { stats, base, selection, assisted }
+    let assisted = try_sim(program, &selection.pthreads, cfg, SimMode::Normal)?;
+    Ok(PipelineResult { stats, base, selection, assisted })
 }
 
 /// Selects p-threads from one program sample (e.g. a test input or a
 /// short profiling phase) and measures them on another (the reference
 /// run) — the Figure-7 methodology.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration or a simulator fault; use
+/// [`try_run_cross_input`] to handle those as typed errors.
 pub fn run_cross_input(
     select_on: &Program,
     select_budget: u64,
     measure_on: &Program,
     cfg: &PipelineConfig,
 ) -> PipelineResult {
-    let base = sim(measure_on, &[], cfg, SimMode::Normal);
+    match try_run_cross_input(select_on, select_budget, measure_on, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`run_cross_input`].
+///
+/// # Errors
+///
+/// Same taxonomy as [`try_run_pipeline`].
+pub fn try_run_cross_input(
+    select_on: &Program,
+    select_budget: u64,
+    measure_on: &Program,
+    cfg: &PipelineConfig,
+) -> Result<PipelineResult, PipelineError> {
+    cfg.try_validate()?;
+    let base = try_sim(measure_on, &[], cfg, SimMode::Normal)?;
     // IPC presented to the model comes from the *profiled* sample, as a
     // real offline implementation would have it.
-    let profile_base = simulate(
-        select_on,
-        &[],
-        &SimConfig {
-            machine: cfg.machine,
-            mode: SimMode::Normal,
-            perfect_l2: false,
-            max_insts: select_budget,
-            max_cycles: select_budget.saturating_mul(64).max(1 << 22),
-        },
-    );
+    let profile_base =
+        try_simulate(select_on, &[], &sim_config(cfg, SimMode::Normal, select_budget))?;
     // Warm-up scales with the profiled run, not the measurement budget:
     // a profile dominated by cold-start misses would mislead selection.
     let warm = cfg.warmup.max(select_budget / 4);
     let (forest, stats) =
-        trace_and_slice_warm(select_on, cfg.scope, cfg.max_slice_len, select_budget, warm);
+        try_trace_and_slice_warm(select_on, cfg.scope, cfg.max_slice_len, select_budget, warm)?;
     let params = selection_params(cfg, profile_base.ipc());
+    params.try_validate()?;
     let selection = select_pthreads(&forest, &params);
-    let assisted = sim(measure_on, &selection.pthreads, cfg, SimMode::Normal);
-    PipelineResult { stats, base, selection, assisted }
+    let assisted = try_sim(measure_on, &selection.pthreads, cfg, SimMode::Normal)?;
+    Ok(PipelineResult { stats, base, selection, assisted })
 }
 
 #[cfg(test)]
@@ -300,6 +459,46 @@ mod tests {
         for pt in &r.selection.pthreads {
             assert!((pt.trigger as usize) < train.len());
         }
+    }
+
+    #[test]
+    fn try_validate_names_each_bad_field() {
+        use crate::PipelineError;
+        let ok = quick_cfg();
+        assert_eq!(ok.try_validate(), Ok(()));
+        let cases: [(PipelineConfig, PipelineError); 7] = [
+            (PipelineConfig { scope: 0, ..ok }, PipelineError::ZeroScope),
+            (PipelineConfig { max_slice_len: 0, ..ok }, PipelineError::ZeroMaxSliceLen),
+            (PipelineConfig { max_pthread_len: 0, ..ok }, PipelineError::ZeroMaxPthreadLen),
+            (PipelineConfig { budget: 0, ..ok }, PipelineError::ZeroBudget),
+            (
+                PipelineConfig { model_miss_latency: Some(-1.0), ..ok },
+                PipelineError::BadModelMissLatency(-1.0),
+            ),
+            (
+                PipelineConfig { model_width: Some(0.0), ..ok },
+                PipelineError::BadModelWidth(0.0),
+            ),
+            (
+                PipelineConfig { machine: ok.machine.with_width(0), ..ok },
+                PipelineError::Machine(preexec_timing::MachineError::ZeroWidth),
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.try_validate(), Err(want.clone()), "for {want}");
+        }
+        // NaN overrides are rejected too (can't assert equality on NaN).
+        let nan = PipelineConfig { model_miss_latency: Some(f64::NAN), ..ok };
+        assert!(matches!(nan.try_validate(), Err(PipelineError::BadModelMissLatency(_))));
+    }
+
+    #[test]
+    fn try_run_pipeline_rejects_bad_config_before_work() {
+        use crate::PipelineError;
+        let w = suite().into_iter().find(|w| w.name == "vpr.r").unwrap();
+        let p = w.build(InputSet::Train);
+        let cfg = PipelineConfig { budget: 0, ..quick_cfg() };
+        assert_eq!(try_run_pipeline(&p, &cfg).unwrap_err(), PipelineError::ZeroBudget);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The architectural CPU: register state plus a single-step interpreter.
 
-use crate::exec;
+use crate::{exec, ExecError};
 use preexec_isa::{Inst, Op, OpClass, Pc, Program, Reg};
 use preexec_mem::Memory;
 use preexec_isa::reg::NUM_REGS;
@@ -87,30 +87,38 @@ impl Cpu {
         self.regs
     }
 
-    /// Executes the instruction at the current PC.
+    /// Executes the instruction at the current PC, returning a typed error
+    /// instead of panicking on a halted CPU or a malformed instruction.
     ///
     /// Memory operations read/write `mem` architecturally; the caller is
     /// responsible for any cache classification (see the tracer).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the CPU is already halted.
-    pub fn step(&mut self, program: &Program, mem: &mut Memory) -> StepOutcome {
-        assert!(!self.halted, "stepping a halted CPU");
+    /// Returns [`ExecError::CpuHalted`] if the CPU has already halted, and
+    /// [`ExecError::Malformed`] if the instruction's operands are
+    /// inconsistent with its opcode class (which cannot happen for
+    /// instructions built through [`preexec_isa`]'s constructors, but can
+    /// for hand-assembled or corrupted ones).
+    pub fn try_step(&mut self, program: &Program, mem: &mut Memory) -> Result<StepOutcome, ExecError> {
+        if self.halted {
+            return Err(ExecError::CpuHalted);
+        }
         let pc = self.pc;
+        let malformed = |reason| ExecError::Malformed { pc, reason };
         let inst = match program.get(pc) {
             Some(i) => *i,
             None => {
                 // Running off the end of the code behaves as halt.
                 self.halted = true;
-                return StepOutcome {
+                return Ok(StepOutcome {
                     pc,
                     inst: Inst::halt(),
                     addr: None,
                     taken: false,
                     result: 0,
                     halted: true,
-                };
+                });
             }
         };
 
@@ -123,11 +131,12 @@ impl Cpu {
             OpClass::IntAlu | OpClass::IntMul => {
                 let a = inst.rs1.map_or(0, |r| self.reg(r));
                 let b = inst.rs2.map_or(0, |r| self.reg(r));
-                result = exec::alu(inst.op, a, b, inst.imm);
-                self.set_reg(inst.rd.expect("ALU op has rd"), result);
+                result = exec::try_alu(inst.op, a, b, inst.imm)?;
+                let rd = inst.rd.ok_or(malformed("ALU op without rd"))?;
+                self.set_reg(rd, result);
             }
             OpClass::Load => {
-                let base = self.reg(inst.rs1.expect("load has base"));
+                let base = self.reg(inst.rs1.ok_or(malformed("load without base"))?);
                 let ea = exec::effective_address(base, inst.imm);
                 addr = Some(ea);
                 result = match inst.op {
@@ -135,41 +144,42 @@ impl Cpu {
                     Op::Lbu => mem.read_u8(ea) as i64,
                     Op::Lw => mem.read_u32(ea) as i32 as i64,
                     Op::Ld => mem.read_u64(ea) as i64,
-                    _ => unreachable!(),
+                    _ => return Err(malformed("unknown load width")),
                 };
-                self.set_reg(inst.rd.expect("load has rd"), result);
+                let rd = inst.rd.ok_or(malformed("load without rd"))?;
+                self.set_reg(rd, result);
             }
             OpClass::Store => {
-                let base = self.reg(inst.rs1.expect("store has base"));
-                let value = self.reg(inst.rs2.expect("store has value"));
+                let base = self.reg(inst.rs1.ok_or(malformed("store without base"))?);
+                let value = self.reg(inst.rs2.ok_or(malformed("store without value"))?);
                 let ea = exec::effective_address(base, inst.imm);
                 addr = Some(ea);
                 match inst.op {
                     Op::Sb => mem.write_u8(ea, value as u8),
                     Op::Sw => mem.write_u32(ea, value as u32),
                     Op::Sd => mem.write_u64(ea, value as u64),
-                    _ => unreachable!(),
+                    _ => return Err(malformed("unknown store width")),
                 }
             }
             OpClass::Branch => {
-                let a = self.reg(inst.rs1.expect("branch has rs"));
-                let b = self.reg(inst.rs2.expect("branch has rt"));
-                taken = exec::branch_taken(inst.op, a, b);
+                let a = self.reg(inst.rs1.ok_or(malformed("branch without rs"))?);
+                let b = self.reg(inst.rs2.ok_or(malformed("branch without rt"))?);
+                taken = exec::try_branch_taken(inst.op, a, b)?;
                 if taken {
-                    next_pc = inst.target.expect("branch has target");
+                    next_pc = inst.target.ok_or(malformed("branch without target"))?;
                 }
             }
             OpClass::Jump => match inst.op {
-                Op::J => next_pc = inst.target.expect("jump has target"),
+                Op::J => next_pc = inst.target.ok_or(malformed("jump without target"))?,
                 Op::Jal => {
                     result = (pc + 1) as i64;
                     self.set_reg(Reg::LINK, result);
-                    next_pc = inst.target.expect("jump has target");
+                    next_pc = inst.target.ok_or(malformed("jump without target"))?;
                 }
                 Op::Jr => {
-                    next_pc = self.reg(inst.rs1.expect("jr has rs")) as Pc;
+                    next_pc = self.reg(inst.rs1.ok_or(malformed("jr without rs"))?) as Pc;
                 }
-                _ => unreachable!(),
+                _ => return Err(malformed("unknown jump form")),
             },
             OpClass::Other => {
                 if inst.op == Op::Halt {
@@ -179,7 +189,22 @@ impl Cpu {
         }
 
         self.pc = next_pc;
-        StepOutcome { pc, inst, addr, taken, result, halted: self.halted }
+        Ok(StepOutcome { pc, inst, addr, taken, result, halted: self.halted })
+    }
+
+    /// Infallible [`try_step`](Self::try_step) for the hot trace loop,
+    /// where the caller guards `halted()` and the program came from the
+    /// assembler (so instructions are well-formed by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CPU is already halted or the instruction is
+    /// malformed.
+    pub fn step(&mut self, program: &Program, mem: &mut Memory) -> StepOutcome {
+        match self.try_step(program, mem) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -289,5 +314,16 @@ mod tests {
         let mut mem = Memory::new();
         cpu.step(&p, &mut mem);
         cpu.step(&p, &mut mem);
+    }
+
+    #[test]
+    fn try_step_reports_halted_as_error() {
+        let p = assemble("t", "halt").unwrap();
+        let mut cpu = Cpu::new(&p);
+        let mut mem = Memory::new();
+        assert!(cpu.try_step(&p, &mut mem).is_ok());
+        assert_eq!(cpu.try_step(&p, &mut mem), Err(ExecError::CpuHalted));
+        // The error is sticky but side-effect free: state is unchanged.
+        assert!(cpu.halted());
     }
 }

@@ -1,6 +1,13 @@
 //! Pure operation semantics, shared by the functional simulator, the
 //! timing simulator's execution stage, and the p-thread interpreter.
+//!
+//! Each operation has a fallible form (`try_alu`, `try_branch_taken`) that
+//! returns a typed [`ExecError`] on a class mismatch — the form speculative
+//! paths (the p-thread sandbox) must use — and an infallible fast-path
+//! wrapper (`alu`, `branch_taken`) for callers that have already matched on
+//! the opcode class.
 
+use crate::ExecError;
 use preexec_isa::Op;
 
 /// Computes the result of an ALU operation.
@@ -9,12 +16,13 @@ use preexec_isa::Op;
 /// and `imm` the immediate (i-type ops). Exactly one of `b`/`imm` is
 /// meaningful per opcode; passing zero for the unused one is conventional.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `op` is not an ALU-class opcode.
-pub fn alu(op: Op, a: i64, b: i64, imm: i64) -> i64 {
+/// Returns [`ExecError::NotAlu`] if `op` is not an ALU-class opcode.
+#[inline]
+pub fn try_alu(op: Op, a: i64, b: i64, imm: i64) -> Result<i64, ExecError> {
     use Op::*;
-    match op {
+    Ok(match op {
         Add => a.wrapping_add(b),
         Sub => a.wrapping_sub(b),
         And => a & b,
@@ -36,25 +44,53 @@ pub fn alu(op: Op, a: i64, b: i64, imm: i64) -> i64 {
         Slti => (a < imm) as i64,
         Li => imm,
         Mov => a,
-        _ => panic!("{op} is not an ALU opcode"),
+        _ => return Err(ExecError::NotAlu(op)),
+    })
+}
+
+/// Infallible [`try_alu`] for callers that already matched the class.
+///
+/// # Panics
+///
+/// Panics if `op` is not an ALU-class opcode.
+#[inline]
+pub fn alu(op: Op, a: i64, b: i64, imm: i64) -> i64 {
+    match try_alu(op, a, b, imm) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
     }
 }
 
 /// Evaluates a conditional branch: does `op` with sources `a`, `b` take?
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `op` is not a conditional branch.
-pub fn branch_taken(op: Op, a: i64, b: i64) -> bool {
+/// Returns [`ExecError::NotBranch`] if `op` is not a conditional branch.
+#[inline]
+pub fn try_branch_taken(op: Op, a: i64, b: i64) -> Result<bool, ExecError> {
     use Op::*;
-    match op {
+    Ok(match op {
         Beq => a == b,
         Bne => a != b,
         Blt => a < b,
         Bge => a >= b,
         Ble => a <= b,
         Bgt => a > b,
-        _ => panic!("{op} is not a conditional branch"),
+        _ => return Err(ExecError::NotBranch(op)),
+    })
+}
+
+/// Infallible [`try_branch_taken`] for callers that already matched the
+/// class.
+///
+/// # Panics
+///
+/// Panics if `op` is not a conditional branch.
+#[inline]
+pub fn branch_taken(op: Op, a: i64, b: i64) -> bool {
+    match try_branch_taken(op, a, b) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -134,5 +170,13 @@ mod tests {
     #[should_panic(expected = "not a conditional branch")]
     fn branch_rejects_non_branch() {
         let _ = branch_taken(Op::J, 0, 0);
+    }
+
+    #[test]
+    fn try_forms_return_typed_errors() {
+        assert_eq!(try_alu(Op::Lw, 0, 0, 0), Err(ExecError::NotAlu(Op::Lw)));
+        assert_eq!(try_branch_taken(Op::J, 0, 0), Err(ExecError::NotBranch(Op::J)));
+        assert_eq!(try_alu(Op::Add, 2, 3, 0), Ok(5));
+        assert_eq!(try_branch_taken(Op::Beq, 1, 1), Ok(true));
     }
 }

@@ -23,13 +23,17 @@
 
 pub mod cpu;
 pub mod dyninst;
+pub mod error;
 pub mod exec;
+pub mod pthread;
 pub mod sampling;
 pub mod stats;
 pub mod tracer;
 
 pub use cpu::{Cpu, StepOutcome};
 pub use dyninst::DynInst;
+pub use error::ExecError;
+pub use pthread::{run_pthread, PThreadOutcome, PThreadRun, SquashReason, PTHREAD_ADDR_LIMIT};
 pub use sampling::{Phase, Sampling};
 pub use stats::{LoadSiteStats, RunStats};
-pub use tracer::{run_trace, TraceConfig};
+pub use tracer::{run_trace, try_run_trace, TraceConfig};

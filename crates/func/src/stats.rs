@@ -40,6 +40,11 @@ pub struct RunStats {
     pub l2_misses: u64,
     /// Per-static-load breakdown.
     pub load_sites: HashMap<Pc, LoadSiteStats>,
+    /// Whether the run was cut off by the step watchdog (`max_steps`)
+    /// rather than halting on its own. A timed-out trace is still usable —
+    /// everything counted up to the cutoff is valid — but downstream
+    /// consumers can surface the truncation.
+    pub timed_out: bool,
 }
 
 impl RunStats {

@@ -1,6 +1,6 @@
 //! The trace driver: functional execution + cache classification + sampling.
 
-use crate::{Cpu, DynInst, Phase, RunStats, Sampling};
+use crate::{Cpu, DynInst, ExecError, Phase, RunStats, Sampling};
 use preexec_isa::{OpClass, Program};
 use preexec_mem::{FuncHierarchy, HierarchyConfig, Memory};
 
@@ -57,8 +57,31 @@ impl Default for TraceConfig {
 pub fn run_trace(
     program: &Program,
     config: &TraceConfig,
-    mut sink: impl FnMut(&DynInst),
+    sink: impl FnMut(&DynInst),
 ) -> RunStats {
+    match try_run_trace(program, config, sink) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`run_trace`]: returns a typed [`ExecError`] instead of
+/// panicking if a malformed instruction is encountered mid-trace.
+///
+/// The step watchdog (`config.max_steps`) is *not* an error: hitting it
+/// ends the run normally with [`RunStats::timed_out`] set, since the
+/// prefix traced so far is valid and usable.
+///
+/// # Errors
+///
+/// Returns [`ExecError::Malformed`] if execution reaches an instruction
+/// whose operands are inconsistent with its opcode class (possible only
+/// for programs not built through the assembler).
+pub fn try_run_trace(
+    program: &Program,
+    config: &TraceConfig,
+    mut sink: impl FnMut(&DynInst),
+) -> Result<RunStats, ExecError> {
     let mut cpu = Cpu::new(program);
     let mut mem = Memory::new();
     for seg in program.data_segments() {
@@ -68,14 +91,19 @@ pub fn run_trace(
     let mut stats = RunStats::new();
     let mut emitted: u64 = 0;
 
-    while !cpu.halted() && stats.total_steps < config.max_steps {
+    while !cpu.halted() {
+        if stats.total_steps >= config.max_steps {
+            // Watchdog: the program did not halt within its step budget.
+            stats.timed_out = true;
+            break;
+        }
         if let Some(cap) = config.max_emitted {
             if emitted >= cap {
                 break;
             }
         }
         let phase = config.sampling.phase(stats.total_steps);
-        let out = cpu.step(program, &mut mem);
+        let out = cpu.try_step(program, &mut mem)?;
         stats.total_steps += 1;
         if phase == Phase::Off {
             continue;
@@ -91,8 +119,16 @@ pub fn run_trace(
         // On: count and emit.
         stats.insts += 1;
         match out.inst.class() {
-            OpClass::Load => stats.record_load(out.pc, level.expect("load has level")),
-            OpClass::Store => stats.record_store(level.expect("store has level")),
+            OpClass::Load => {
+                let level = level
+                    .ok_or(ExecError::Malformed { pc: out.pc, reason: "load without address" })?;
+                stats.record_load(out.pc, level);
+            }
+            OpClass::Store => {
+                let level = level
+                    .ok_or(ExecError::Malformed { pc: out.pc, reason: "store without address" })?;
+                stats.record_store(level);
+            }
             OpClass::Branch => {
                 stats.branches += 1;
                 if out.taken {
@@ -113,7 +149,7 @@ pub fn run_trace(
         emitted += 1;
         sink(&d);
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -163,6 +199,13 @@ mod tests {
         let config = TraceConfig { max_steps: 100, ..TraceConfig::default() };
         let stats = run_trace(&streaming_loop(), &config, |_| {});
         assert_eq!(stats.total_steps, 100);
+        assert!(stats.timed_out, "watchdog cutoff must be flagged");
+    }
+
+    #[test]
+    fn halting_run_is_not_timed_out() {
+        let stats = run_trace(&streaming_loop(), &TraceConfig::default(), |_| {});
+        assert!(!stats.timed_out);
     }
 
     #[test]

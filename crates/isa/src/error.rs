@@ -1,0 +1,60 @@
+//! The crate-level error umbrella.
+
+use crate::asm::AsmError;
+use crate::builder::BuildError;
+use std::error::Error;
+use std::fmt;
+
+/// Any error the ISA layer can produce: assembling source text or
+/// building a program from the programmatic builder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// Assembler error (line-numbered).
+    Asm(AsmError),
+    /// Program-builder error (label resolution).
+    Build(BuildError),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::Asm(e) => e.fmt(f),
+            IsaError::Build(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for IsaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IsaError::Asm(e) => Some(e),
+            IsaError::Build(e) => Some(e),
+        }
+    }
+}
+
+impl From<AsmError> for IsaError {
+    fn from(e: AsmError) -> IsaError {
+        IsaError::Asm(e)
+    }
+}
+
+impl From<BuildError> for IsaError {
+    fn from(e: BuildError) -> IsaError {
+        IsaError::Build(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_both_sources() {
+        let a: IsaError = crate::assemble("t", "frobnicate r1").unwrap_err().into();
+        assert!(matches!(a, IsaError::Asm(_)));
+        assert!(a.source().is_some());
+        let b: IsaError = BuildError::UndefinedLabel("x".into()).into();
+        assert!(b.to_string().contains("undefined label"));
+    }
+}

@@ -40,13 +40,15 @@
 
 pub mod asm;
 pub mod builder;
+pub mod error;
 pub mod inst;
 pub mod op;
 pub mod program;
 pub mod reg;
 
 pub use asm::{assemble, AsmError};
-pub use builder::ProgramBuilder;
+pub use builder::{BuildError, ProgramBuilder};
+pub use error::IsaError;
 pub use inst::Inst;
 pub use op::{Op, OpClass};
 pub use program::{DataSegment, Program};

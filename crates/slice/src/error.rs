@@ -1,0 +1,60 @@
+//! Typed errors for the slicing layer.
+
+use crate::io::ParseForestError;
+use std::error::Error;
+use std::fmt;
+
+/// A fault raised by the slicing layer: bad construction parameters,
+/// misuse of an empty window, or a corrupt serialized forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceError {
+    /// A [`SliceWindow`](crate::SliceWindow) was requested with scope 0.
+    ZeroScope,
+    /// A [`SliceForestBuilder`](crate::SliceForestBuilder) was requested
+    /// with a zero maximum slice length.
+    ZeroMaxSliceLen,
+    /// A slice was requested from an empty window.
+    EmptyWindow,
+    /// A serialized slice forest failed to parse.
+    Parse(ParseForestError),
+}
+
+impl fmt::Display for SliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceError::ZeroScope => write!(f, "slicing scope must be positive"),
+            SliceError::ZeroMaxSliceLen => write!(f, "max slice length must be positive"),
+            SliceError::EmptyWindow => write!(f, "slice of empty window"),
+            SliceError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for SliceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SliceError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseForestError> for SliceError {
+    fn from(e: ParseForestError) -> SliceError {
+        SliceError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_fault() {
+        assert!(SliceError::ZeroScope.to_string().contains("positive"));
+        assert!(SliceError::ZeroMaxSliceLen.to_string().contains("positive"));
+        assert!(SliceError::EmptyWindow.to_string().contains("empty"));
+        let p = ParseForestError { line: 7, message: "boom".into() };
+        assert!(SliceError::from(p).to_string().contains("line 7"));
+    }
+}

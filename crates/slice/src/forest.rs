@@ -1,7 +1,7 @@
 //! The slice forest: one slice tree per static problem load, plus the
 //! global trigger statistics (`DC_trig`) the advantage model needs.
 
-use crate::{SliceTree, SliceWindow};
+use crate::{SliceError, SliceTree, SliceWindow};
 use preexec_func::DynInst;
 use preexec_isa::Pc;
 use std::collections::BTreeMap;
@@ -30,14 +30,29 @@ impl SliceForestBuilder {
     ///
     /// Panics if either parameter is zero.
     pub fn new(scope: usize, max_slice_len: usize) -> SliceForestBuilder {
-        assert!(max_slice_len > 0, "max slice length must be positive");
-        SliceForestBuilder {
-            window: SliceWindow::new(scope),
+        match SliceForestBuilder::try_new(scope, max_slice_len) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`new`](Self::new).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SliceError::ZeroScope`] or [`SliceError::ZeroMaxSliceLen`]
+    /// when the corresponding parameter is zero.
+    pub fn try_new(scope: usize, max_slice_len: usize) -> Result<SliceForestBuilder, SliceError> {
+        if max_slice_len == 0 {
+            return Err(SliceError::ZeroMaxSliceLen);
+        }
+        Ok(SliceForestBuilder {
+            window: SliceWindow::try_new(scope)?,
             max_slice_len,
             trees: BTreeMap::new(),
             exec_counts: Vec::new(),
             observed: 0,
-        }
+        })
     }
 
     /// Observes a warm-up instruction: it enters the slicing window (so
@@ -210,6 +225,20 @@ mod tests {
     fn sample_insts_counts_everything() {
         let f = forest_for("li r1, 1\n halt");
         assert_eq!(f.sample_insts(), 2);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        use crate::SliceError;
+        assert!(matches!(
+            SliceForestBuilder::try_new(1024, 0),
+            Err(SliceError::ZeroMaxSliceLen)
+        ));
+        assert!(matches!(
+            SliceForestBuilder::try_new(0, 32),
+            Err(SliceError::ZeroScope)
+        ));
+        assert!(SliceForestBuilder::try_new(1024, 32).is_ok());
     }
 
     #[test]

@@ -43,12 +43,14 @@
 //! assert!(tree.root().dc_ptcm > 0);
 //! ```
 
+pub mod error;
 pub mod forest;
 pub mod io;
 pub mod tree;
 pub mod window;
 
+pub use error::SliceError;
 pub use forest::{SliceForest, SliceForestBuilder};
-pub use io::{read_forest, write_forest};
+pub use io::{read_forest, read_forest_lenient, write_forest, ParseForestError, RecoveredForest};
 pub use tree::{NodeId, SliceNode, SliceTree};
 pub use window::{SliceEntry, SliceWindow};

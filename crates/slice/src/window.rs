@@ -1,6 +1,7 @@
 //! The slicing window: a bounded history of dynamic instructions with
 //! last-writer tracking, from which backward slices are extracted.
 
+use crate::SliceError;
 use preexec_func::DynInst;
 use preexec_isa::reg::NUM_REGS;
 use preexec_isa::{Inst, Pc};
@@ -67,17 +68,31 @@ pub struct SliceWindow {
 impl SliceWindow {
     /// Creates a window holding the last `scope` instructions.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `scope` is zero.
-    pub fn new(scope: usize) -> SliceWindow {
-        assert!(scope > 0, "slicing scope must be positive");
-        SliceWindow {
+    /// Returns [`SliceError::ZeroScope`] if `scope` is zero.
+    pub fn try_new(scope: usize) -> Result<SliceWindow, SliceError> {
+        if scope == 0 {
+            return Err(SliceError::ZeroScope);
+        }
+        Ok(SliceWindow {
             scope,
             ring: VecDeque::with_capacity(scope),
             reg_writer: [None; NUM_REGS],
             mem_writer: HashMap::new(),
             observed: 0,
+        })
+    }
+
+    /// Infallible [`try_new`](Self::try_new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scope` is zero.
+    pub fn new(scope: usize) -> SliceWindow {
+        match SliceWindow::try_new(scope) {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -170,7 +185,20 @@ impl SliceWindow {
     ///
     /// Panics if the window is empty.
     pub fn slice_latest(&self, max_len: usize) -> Vec<SliceEntry> {
-        let root = self.ring.back().expect("slice of empty window");
+        match self.try_slice_latest(max_len) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`slice_latest`](Self::slice_latest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SliceError::EmptyWindow`] if no instruction has been
+    /// pushed yet.
+    pub fn try_slice_latest(&self, max_len: usize) -> Result<Vec<SliceEntry>, SliceError> {
+        let root = self.ring.back().ok_or(SliceError::EmptyWindow)?;
         let root_seq = root.seq;
         let min_seq = self.min_seq();
 
@@ -218,7 +246,7 @@ impl SliceWindow {
         }
 
         // Build entries with intra-slice dependence positions.
-        order
+        Ok(order
             .iter()
             .map(|&seq| {
                 let e = self.entry(seq).expect("slice seq within window");
@@ -237,7 +265,7 @@ impl SliceWindow {
                 dep_positions.dedup();
                 SliceEntry { pc: e.pc, inst: e.inst, dist: root_seq - seq, dep_positions }
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -437,5 +465,20 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_scope_rejected() {
         let _ = SliceWindow::new(0);
+    }
+
+    #[test]
+    fn try_new_returns_typed_error() {
+        assert!(matches!(SliceWindow::try_new(0), Err(crate::SliceError::ZeroScope)));
+        assert!(SliceWindow::try_new(1).is_ok());
+    }
+
+    #[test]
+    fn try_slice_of_empty_window_is_error() {
+        let w = SliceWindow::new(8);
+        assert!(matches!(
+            w.try_slice_latest(4),
+            Err(crate::SliceError::EmptyWindow)
+        ));
     }
 }

@@ -32,11 +32,13 @@
 //! ```
 
 pub mod bpred;
+pub mod error;
 pub mod machine;
 pub mod memsys;
 pub mod sim;
 
 pub use bpred::BranchPredictor;
+pub use error::{MachineError, SimError};
 pub use machine::MachineParams;
 pub use memsys::MemSys;
-pub use sim::{simulate, SimConfig, SimMode, SimResult};
+pub use sim::{simulate, try_simulate, SimConfig, SimMode, SimResult};

@@ -1,5 +1,6 @@
 //! Machine parameters for the timing simulator.
 
+use crate::MachineError;
 use preexec_mem::CacheConfig;
 
 /// Parameters of the simulated machine, defaulting to the paper's base
@@ -110,10 +111,30 @@ impl MachineParams {
     ///
     /// Panics on zero widths, sizes, or latencies that make no sense.
     pub fn validate(&self) {
-        assert!(self.width > 0, "width must be positive");
-        assert!(self.rs_entries > 0 && self.rob_entries > 0, "window must be positive");
-        assert!(self.mshrs > 0, "mshrs must be positive");
-        assert!(self.pthread_burst > 0, "burst must be positive");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`validate`](Self::validate).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`MachineError`] variant naming the zero field.
+    pub fn try_validate(&self) -> Result<(), MachineError> {
+        if self.width == 0 {
+            return Err(MachineError::ZeroWidth);
+        }
+        if self.rs_entries == 0 || self.rob_entries == 0 {
+            return Err(MachineError::ZeroWindow);
+        }
+        if self.mshrs == 0 {
+            return Err(MachineError::ZeroMshrs);
+        }
+        if self.pthread_burst == 0 {
+            return Err(MachineError::ZeroBurst);
+        }
+        Ok(())
     }
 }
 

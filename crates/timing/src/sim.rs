@@ -1,10 +1,10 @@
 //! The cycle-driven simulation loop.
 
-use crate::{BranchPredictor, MachineParams, MemSys};
+use crate::{BranchPredictor, MachineParams, MemSys, SimError};
 use crate::memsys::MemStats;
 use preexec_core::StaticPThread;
 use preexec_func::exec;
-use preexec_func::Cpu;
+use preexec_func::{Cpu, SquashReason, PTHREAD_ADDR_LIMIT};
 use preexec_isa::reg::NUM_REGS;
 use preexec_isa::{Inst, Op, OpClass, Pc, Program};
 use preexec_mem::Memory;
@@ -38,8 +38,13 @@ pub struct SimConfig {
     pub perfect_l2: bool,
     /// Stop after this many retired main-thread instructions.
     pub max_insts: u64,
-    /// Hard cycle cap (runaway guard).
+    /// Hard cycle cap (watchdog): a run that hits it ends normally with
+    /// [`SimResult::timed_out`] set.
     pub max_cycles: u64,
+    /// Per-launch p-thread step watchdog: a context that injects this many
+    /// instructions without finishing its body is squashed with
+    /// [`SquashReason::BudgetExhausted`].
+    pub pthread_step_budget: usize,
 }
 
 impl Default for SimConfig {
@@ -50,6 +55,7 @@ impl Default for SimConfig {
             perfect_l2: false,
             max_insts: u64::MAX,
             max_cycles: 4_000_000_000,
+            pthread_step_budget: 4096,
         }
     }
 }
@@ -71,6 +77,14 @@ pub struct SimResult {
     pub branches: u64,
     /// Branch mispredictions (direction or target).
     pub mispredicts: u64,
+    /// P-thread contexts squashed on a speculative fault or watchdog
+    /// (their prior prefetches remain — squash is recovery, not rollback).
+    pub squashes: u64,
+    /// Squash breakdown by reason.
+    pub squash_reasons: HashMap<SquashReason, u64>,
+    /// Whether the run hit the `max_cycles` watchdog before the program
+    /// drained.
+    pub timed_out: bool,
     /// Memory-system statistics.
     pub mem: MemStats,
 }
@@ -113,6 +127,11 @@ impl SimResult {
     /// misses plus covered ones.
     pub fn total_would_be_misses(&self) -> u64 {
         self.mem.l2_misses + self.covered()
+    }
+
+    /// Squashes attributed to `reason`.
+    pub fn squash_count(&self, reason: SquashReason) -> u64 {
+        self.squash_reasons.get(&reason).copied().unwrap_or(0)
     }
 }
 
@@ -165,8 +184,33 @@ impl IssueSlots {
 /// statistics, branch statistics and the memory system's coverage
 /// accounting. Pass an empty `pthreads` slice for an unassisted (base)
 /// run.
+///
+/// # Panics
+///
+/// Panics on an invalid machine configuration or a malformed main-thread
+/// instruction — use [`try_simulate`] to get those as typed errors.
+/// P-thread faults never panic in either form: they squash the context
+/// and are counted in [`SimResult::squashes`].
 pub fn simulate(program: &Program, pthreads: &[StaticPThread], config: &SimConfig) -> SimResult {
-    config.machine.validate();
+    match try_simulate(program, pthreads, config) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`simulate`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Machine`] for an invalid configuration and
+/// [`SimError::Exec`] if the *main thread* executes a malformed
+/// instruction (p-thread faults squash instead; see [`SimResult`]).
+pub fn try_simulate(
+    program: &Program,
+    pthreads: &[StaticPThread],
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    config.machine.try_validate()?;
     let m = &config.machine;
     let mut cpu = Cpu::new(program);
     let mut mem = Memory::new();
@@ -219,6 +263,9 @@ pub fn simulate(program: &Program, pthreads: &[StaticPThread], config: &SimConfi
         let mut bandwidth = m.width;
 
         // 3. P-thread injection: bursts of `pthread_burst` per context.
+        // Injection is sandboxed: a speculative fault (invalid opcode,
+        // malformed operands, wild address) or an exhausted step budget
+        // squashes the context — counted, never propagated.
         for slot in contexts.iter_mut() {
             let free_bandwidth = config.mode == SimMode::LatencyToleranceOnly;
             let Some(ctx) = slot else { continue };
@@ -226,6 +273,7 @@ pub fn simulate(program: &Program, pthreads: &[StaticPThread], config: &SimConfi
                 ctx.burst_left = m.pthread_burst;
                 ctx.next_burst = cycle + m.pthread_burst as u64;
             }
+            let mut squashed: Option<SquashReason> = None;
             while ctx.burst_left > 0 && ctx.next < ctx.body.len() {
                 if !free_bandwidth && bandwidth == 0 {
                     break;
@@ -238,19 +286,33 @@ pub fn simulate(program: &Program, pthreads: &[StaticPThread], config: &SimConfi
                         break;
                     }
                 }
+                if ctx.next >= config.pthread_step_budget {
+                    squashed = Some(SquashReason::BudgetExhausted);
+                    break;
+                }
                 let inst = ctx.body[ctx.next];
-                inject_pthread_inst(
+                let outcome = inject_pthread_inst(
                     ctx, inst, cycle, config.mode, m, &mut memsys, &mem, &mut slots, &mut rs,
                     &mut pthread_regs,
                 );
+                // The faulting instruction still consumed sequencing
+                // bandwidth — it was fetched and renamed before the fault.
                 r.pthread_insts += 1;
                 ctx.next += 1;
                 ctx.burst_left -= 1;
                 if !free_bandwidth {
                     bandwidth -= 1;
                 }
+                if let Err(reason) = outcome {
+                    squashed = Some(reason);
+                    break;
+                }
             }
-            if ctx.next >= ctx.body.len() {
+            if let Some(reason) = squashed {
+                r.squashes += 1;
+                *r.squash_reasons.entry(reason).or_insert(0) += 1;
+                *slot = None;
+            } else if ctx.next >= ctx.body.len() {
                 // All instructions renamed: the context frees (paper §4.1).
                 *slot = None;
             }
@@ -274,7 +336,7 @@ pub fn simulate(program: &Program, pthreads: &[StaticPThread], config: &SimConfi
                 }
             }
 
-            let out = cpu.step(program, &mut mem);
+            let out = cpu.try_step(program, &mut mem)?;
             let inst = out.inst;
             let ready = inst
                 .uses()
@@ -386,14 +448,19 @@ pub fn simulate(program: &Program, pthreads: &[StaticPThread], config: &SimConfi
 
         cycle += 1;
         let drained = cpu.halted() && rob.is_empty();
-        if drained || r.insts >= config.max_insts || cycle >= config.max_cycles {
+        if cycle >= config.max_cycles && !drained {
+            // Watchdog: the run did not drain within its cycle budget.
+            r.timed_out = true;
+            break;
+        }
+        if drained || r.insts >= config.max_insts {
             break;
         }
     }
 
     r.cycles = cycle;
     r.mem = *memsys.stats();
-    r
+    Ok(r)
 }
 
 /// Store-to-load forwarding: the youngest older store fully containing the
@@ -413,6 +480,11 @@ fn store_forward(
 
 /// Injects one p-thread instruction: functional execution on the context's
 /// private registers (with a private store buffer), then timing.
+///
+/// Speculative faults are returned as the [`SquashReason`] that should
+/// kill the context. The faulting instruction has already consumed its
+/// sequencing slot by the time the fault is detected, mirroring a real
+/// pipeline where squash happens at execute.
 #[allow(clippy::too_many_arguments)]
 fn inject_pthread_inst(
     ctx: &mut Ctx,
@@ -425,9 +497,9 @@ fn inject_pthread_inst(
     slots: &mut IssueSlots,
     rs: &mut BinaryHeap<Reverse<u64>>,
     pthread_regs: &mut BinaryHeap<Reverse<u64>>,
-) {
+) -> Result<(), SquashReason> {
     if mode == SimMode::OverheadSequence {
-        return; // sequenced and discarded
+        return Ok(()); // sequenced and discarded
     }
     let ready = inst
         .uses()
@@ -440,44 +512,57 @@ fn inject_pthread_inst(
     let b = inst.rs2.map_or(0, |r| ctx.regs[r.index()]);
     let mut completion = issue + inst.op.exec_latency() as u64;
     let mut result = 0i64;
+    let mut writes_def = true;
 
     match inst.class() {
         OpClass::IntAlu | OpClass::IntMul => {
-            result = exec::alu(inst.op, a, b, inst.imm);
+            result = exec::try_alu(inst.op, a, b, inst.imm)
+                .map_err(|_| SquashReason::InvalidOpcode)?;
         }
         OpClass::Load => {
             let addr = exec::effective_address(a, inst.imm);
+            if addr >= PTHREAD_ADDR_LIMIT {
+                // A poisoned pointer chase: squash instead of prefetching
+                // from a wild address (see `preexec_func::pthread`).
+                return Err(SquashReason::BadAddress);
+            }
+            let width = inst.op.mem_width().ok_or(SquashReason::Malformed)?;
             let t = issue + m.agen_latency;
             // Forward from the p-thread's own speculative stores.
             if let Some(&(v, w)) = ctx.store_buffer.get(&addr) {
-                if w == inst.op.mem_width().expect("load width") {
+                if w == width {
                     result = v;
                     completion = t + m.store_forward_latency;
                 } else {
-                    result = read_mem(mem, inst.op, addr);
+                    result = read_mem(mem, inst.op, addr).ok_or(SquashReason::Malformed)?;
                     completion = pthread_mem_access(mode, memsys, t, addr);
                 }
             } else {
-                result = read_mem(mem, inst.op, addr);
+                result = read_mem(mem, inst.op, addr).ok_or(SquashReason::Malformed)?;
                 completion = pthread_mem_access(mode, memsys, t, addr);
             }
         }
         OpClass::Store => {
             // Speculative: buffered locally, never written to memory.
             let addr = exec::effective_address(a, inst.imm);
-            ctx.store_buffer
-                .insert(addr, (b, inst.op.mem_width().expect("store width")));
+            let width = inst.op.mem_width().ok_or(SquashReason::Malformed)?;
+            ctx.store_buffer.insert(addr, (b, width));
             completion = issue + m.agen_latency + 1;
+            writes_def = false;
         }
-        // Bodies are control-less; anything else is inert.
-        OpClass::Branch | OpClass::Jump | OpClass::Other => {}
+        // Bodies are control-less; anything else is inert (including
+        // jal's link write — the sandbox must not disturb seeded state).
+        OpClass::Branch | OpClass::Jump | OpClass::Other => writes_def = false,
     }
 
-    if let Some(def) = inst.def() {
-        ctx.regs[def.index()] = result;
-        ctx.ready[def.index()] = completion;
-        pthread_regs.push(Reverse(completion));
+    if writes_def {
+        if let Some(def) = inst.def() {
+            ctx.regs[def.index()] = result;
+            ctx.ready[def.index()] = completion;
+            pthread_regs.push(Reverse(completion));
+        }
     }
+    Ok(())
 }
 
 fn pthread_mem_access(mode: SimMode, memsys: &mut MemSys, t: u64, addr: u64) -> u64 {
@@ -487,14 +572,14 @@ fn pthread_mem_access(mode: SimMode, memsys: &mut MemSys, t: u64, addr: u64) -> 
     }
 }
 
-fn read_mem(mem: &Memory, op: Op, addr: u64) -> i64 {
-    match op {
+fn read_mem(mem: &Memory, op: Op, addr: u64) -> Option<i64> {
+    Some(match op {
         Op::Lb => mem.read_u8(addr) as i8 as i64,
         Op::Lbu => mem.read_u8(addr) as i64,
         Op::Lw => mem.read_u32(addr) as i32 as i64,
         Op::Ld => mem.read_u64(addr) as i64,
-        _ => unreachable!("not a load"),
-    }
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -775,6 +860,73 @@ mod tests {
         // The load forwards from the store queue: total run far below a
         // double memory-latency round trip.
         assert!(r.cycles < 100, "cycles {}", r.cycles);
+    }
+
+    /// A p-thread whose body chases a register seeded with a wild value.
+    fn poisoned_pthread() -> StaticPThread {
+        let mut pt = stream_pthread(1);
+        // li of a huge address, then a load through it: past the 48-bit
+        // speculative address space, this must squash, not prefetch.
+        pt.body = vec![
+            Inst::li(Reg::new(20), -1),
+            Inst::load(Op::Ld, Reg::new(21), Reg::new(20), 0),
+        ];
+        pt
+    }
+
+    #[test]
+    fn poisoned_pthread_squashes_and_is_counted() {
+        let p = assemble("t", STREAM).unwrap();
+        let r = simulate(&p, &[poisoned_pthread()], &SimConfig::default());
+        assert!(r.squashes > 0, "wild addresses must squash");
+        assert_eq!(r.squashes, r.squash_count(SquashReason::BadAddress));
+        // The main thread is unaffected: the program still drains.
+        assert!(!r.timed_out);
+        assert!(r.insts > 0);
+    }
+
+    #[test]
+    fn pthread_step_budget_squashes_long_bodies() {
+        let p = assemble("t", STREAM).unwrap();
+        let pt = stream_pthread(16); // 17-instruction body
+        let cfg = SimConfig { pthread_step_budget: 4, ..SimConfig::default() };
+        let r = simulate(&p, &[pt], &cfg);
+        assert!(r.squash_count(SquashReason::BudgetExhausted) > 0);
+        // No context ever injects past its budget.
+        assert!(r.avg_pthread_len() <= 4.0, "{}", r.avg_pthread_len());
+    }
+
+    #[test]
+    fn cycle_watchdog_flags_timeout() {
+        let p = assemble("t", STREAM).unwrap();
+        let r = simulate(&p, &[], &SimConfig { max_cycles: 200, ..SimConfig::default() });
+        assert!(r.timed_out);
+        assert_eq!(r.cycles, 200);
+        // A drained run is not a timeout.
+        let ok = simulate(&p, &[], &SimConfig::default());
+        assert!(!ok.timed_out);
+    }
+
+    #[test]
+    fn try_simulate_rejects_bad_machine() {
+        use crate::{MachineError, SimError};
+        let p = assemble("t", "halt").unwrap();
+        let cfg = SimConfig {
+            machine: MachineParams { width: 0, ..MachineParams::paper_default() },
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            try_simulate(&p, &[], &cfg).unwrap_err(),
+            SimError::Machine(MachineError::ZeroWidth)
+        );
+    }
+
+    #[test]
+    fn squash_free_run_reports_no_squashes() {
+        let p = chase_program(200);
+        let r = simulate(&p, &[chase_pthread(2)], &SimConfig::default());
+        assert_eq!(r.squashes, 0);
+        assert!(r.squash_reasons.is_empty());
     }
 
     #[test]

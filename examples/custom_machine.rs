@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example custom_machine`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use preexec::experiments::pipeline::{
     selection_params, sim, trace_and_slice, PipelineConfig,
 };

@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release --example pharmacy`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use preexec::core::{aggregate_advantage, candidate_body, solve_tree, SelectionParams};
 use preexec::isa::{assemble, Inst, Op, Pc, Reg};
 use preexec::slice::{SliceEntry, SliceTree};
@@ -87,7 +89,7 @@ fn right_slice(u: usize) -> Vec<SliceEntry> {
 
 fn dc_trig(pc: Pc) -> u64 {
     match pc {
-        7 | 8 | 9 => 80, // 80 iterations contain load #09
+        7..=9 => 80, // 80 iterations contain load #09
         4 => 60,         // 60 use the #04 computation
         6 => 20,         // 20 use the #06 computation
         11 => 100,       // once per iteration

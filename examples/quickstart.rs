@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use preexec::core::{select_pthreads, SelectionParams};
 use preexec::func::{run_trace, TraceConfig};
 use preexec::isa::assemble;

@@ -4,6 +4,8 @@
 //! Run with: `cargo run --release --example suite_tour [budget]`
 //! (default budget 100 000 instructions per kernel).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use preexec::experiments::pipeline::{run_pipeline, PipelineConfig};
 use preexec::workloads::{suite, InputSet};
 

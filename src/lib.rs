@@ -57,6 +57,10 @@
 //! assert!(assisted.covered() > 0);
 //! ```
 
+pub mod error;
+
+pub use error::Error;
+
 pub use preexec_core as core;
 pub use preexec_experiments as experiments;
 pub use preexec_func as func;

@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: the full pipeline on real suite kernels,
 //! checking the paper's qualitative claims end to end.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use preexec::experiments::pipeline::{
     run_cross_input, run_pipeline, selection_params, sim, trace_and_slice, PipelineConfig,
 };

@@ -10,6 +10,8 @@
 //! versions on random register files over deterministic memory, and
 //! compares the final load's effective address.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use preexec::core::{optimize_body, Body, BodyInst};
 use preexec::isa::{Inst, Op, Reg};
 use proptest::prelude::*;
