@@ -37,6 +37,7 @@ pub mod tables;
 
 pub use error::PipelineError;
 pub use pipeline::{
-    run_pipeline, trace_and_slice, trace_and_slice_warm, try_run_pipeline,
-    try_trace_and_slice_warm, PipelineConfig, PipelineResult,
+    run_pipeline, trace_and_slice, trace_and_slice_warm, try_base_sim, try_run_pipeline,
+    try_run_pipeline_with_artifacts, try_select, try_trace_and_slice_warm, PipelineConfig,
+    PipelineResult,
 };

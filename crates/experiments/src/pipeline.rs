@@ -313,6 +313,69 @@ pub fn try_sim(
     Ok(try_simulate(program, pthreads, &sim_config(cfg, mode, cfg.budget))?)
 }
 
+/// Stage: the unassisted timing run (whose IPC feeds the selection
+/// model). Equivalent to [`try_sim`] with no p-threads in
+/// [`SimMode::Normal`], named so callers that schedule and time the
+/// pipeline stage-by-stage (the batch service) can invoke it directly.
+///
+/// # Errors
+///
+/// Same as [`try_sim`].
+pub fn try_base_sim(
+    program: &Program,
+    cfg: &PipelineConfig,
+) -> Result<SimResult, PipelineError> {
+    try_sim(program, &[], cfg, SimMode::Normal)
+}
+
+/// Stage: p-thread selection against a slice forest and a measured base
+/// IPC. Derives the model parameters from `cfg` (see
+/// [`selection_params`]), validates them, and runs the selector.
+///
+/// This is the cheap stage of the decoupled toolflow: given a cached
+/// forest, re-selection under new machine parameters needs no re-trace.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Params`] if the derived selection parameters
+/// are invalid.
+pub fn try_select(
+    forest: &SliceForest,
+    cfg: &PipelineConfig,
+    base_ipc: f64,
+) -> Result<Selection, PipelineError> {
+    let params = selection_params(cfg, base_ipc);
+    params.try_validate()?;
+    Ok(select_pthreads(forest, &params))
+}
+
+/// Finishes a pipeline run from pre-computed trace artifacts: base sim,
+/// selection, assisted sim. The expensive trace+slice stage is skipped
+/// entirely — this is the entry point for artifact-cache hits, where the
+/// forest and stats were produced by an earlier run with the same
+/// (workload, input, trace config) and only the machine/model
+/// configuration changed.
+///
+/// Given artifacts from [`try_trace_and_slice_warm`] under the same
+/// `cfg`, the result is identical to [`try_run_pipeline`]: the stages
+/// are mutually independent and individually deterministic.
+///
+/// # Errors
+///
+/// Same taxonomy as [`try_run_pipeline`], minus the trace stage.
+pub fn try_run_pipeline_with_artifacts(
+    program: &Program,
+    cfg: &PipelineConfig,
+    forest: &SliceForest,
+    stats: RunStats,
+) -> Result<PipelineResult, PipelineError> {
+    cfg.try_validate()?;
+    let base = try_base_sim(program, cfg)?;
+    let selection = try_select(forest, cfg, base.ipc())?;
+    let assisted = try_sim(program, &selection.pthreads, cfg, SimMode::Normal)?;
+    Ok(PipelineResult { stats, base, selection, assisted })
+}
+
 /// Full pipeline: trace, slice, select against the measured base IPC, and
 /// measure the assisted machine.
 ///
@@ -340,14 +403,9 @@ pub fn try_run_pipeline(
     cfg: &PipelineConfig,
 ) -> Result<PipelineResult, PipelineError> {
     cfg.try_validate()?;
-    let base = try_sim(program, &[], cfg, SimMode::Normal)?;
     let (forest, stats) =
         try_trace_and_slice_warm(program, cfg.scope, cfg.max_slice_len, cfg.budget, cfg.warmup)?;
-    let params = selection_params(cfg, base.ipc());
-    params.try_validate()?;
-    let selection = select_pthreads(&forest, &params);
-    let assisted = try_sim(program, &selection.pthreads, cfg, SimMode::Normal)?;
-    Ok(PipelineResult { stats, base, selection, assisted })
+    try_run_pipeline_with_artifacts(program, cfg, &forest, stats)
 }
 
 /// Selects p-threads from one program sample (e.g. a test input or a
@@ -499,6 +557,33 @@ mod tests {
         let p = w.build(InputSet::Train);
         let cfg = PipelineConfig { budget: 0, ..quick_cfg() };
         assert_eq!(try_run_pipeline(&p, &cfg).unwrap_err(), PipelineError::ZeroBudget);
+    }
+
+    #[test]
+    fn staged_pipeline_matches_monolithic() {
+        // The artifact-reuse path (cache hit: trace once, finish twice)
+        // must reproduce the monolithic run bit-for-bit — this is the
+        // correctness contract the service's cache relies on.
+        let w = suite().into_iter().find(|w| w.name == "vpr.r").unwrap();
+        let p = w.build(InputSet::Train);
+        let cfg = quick_cfg();
+        let whole = try_run_pipeline(&p, &cfg).unwrap();
+        let (forest, stats) =
+            try_trace_and_slice_warm(&p, cfg.scope, cfg.max_slice_len, cfg.budget, cfg.warmup)
+                .unwrap();
+        let staged = try_run_pipeline_with_artifacts(&p, &cfg, &forest, stats).unwrap();
+        assert_eq!(staged.base.cycles, whole.base.cycles);
+        assert_eq!(staged.base.insts, whole.base.insts);
+        assert_eq!(staged.assisted.cycles, whole.assisted.cycles);
+        assert_eq!(staged.assisted.insts, whole.assisted.insts);
+        assert_eq!(staged.selection.pthreads.len(), whole.selection.pthreads.len());
+        for (a, b) in staged.selection.pthreads.iter().zip(&whole.selection.pthreads) {
+            assert_eq!(a.trigger, b.trigger);
+            assert_eq!(a.targets, b.targets);
+            assert_eq!(a.body.len(), b.body.len());
+        }
+        assert_eq!(staged.stats.insts, whole.stats.insts);
+        assert_eq!(staged.stats.l2_misses, whole.stats.l2_misses);
     }
 
     #[test]

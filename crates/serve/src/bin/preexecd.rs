@@ -1,0 +1,93 @@
+//! `preexecd` — the batch p-thread analysis daemon.
+//!
+//! Binds a TCP listener, prints `preexecd listening on ADDR` (so
+//! scripts and tests binding port 0 can discover the port), and serves
+//! the newline-delimited JSON protocol until a `shutdown` command
+//! drains the job queue.
+
+use preexec_serve::{Server, ServerConfig};
+use std::io::Write;
+
+const USAGE: &str = "\
+usage: preexecd [options]
+
+options:
+  --addr HOST:PORT   listen address (default 127.0.0.1:7099; port 0 = ephemeral)
+  --port N           shorthand for --addr 127.0.0.1:N
+  --workers N        worker threads (default: one per core)
+  --queue-cap N      bounded job-queue capacity (default 256)
+  --cache-dir PATH   artifact-cache directory (default preexec-cache)
+  --cache-max N      max cache entries before eviction (default 256)
+  --help             print this help
+
+protocol: one JSON object per line, e.g.
+  {\"cmd\":\"submit\",\"workload\":\"vpr.r\",\"budget\":120000}
+  {\"cmd\":\"status\",\"job\":1}   {\"cmd\":\"result\",\"job\":1}
+  {\"cmd\":\"stats\"}             {\"cmd\":\"shutdown\"}
+";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig { addr: "127.0.0.1:7099".to_string(), ..ServerConfig::default() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--port" => {
+                let p = value("--port")?;
+                p.parse::<u16>().map_err(|_| format!("bad port `{p}`"))?;
+                cfg.addr = format!("127.0.0.1:{p}");
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                cfg.workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+            }
+            "--queue-cap" => {
+                let v = value("--queue-cap")?;
+                cfg.queue_cap = v.parse().map_err(|_| format!("bad queue cap `{v}`"))?;
+            }
+            "--cache-dir" => cfg.cache_dir = value("--cache-dir")?.into(),
+            "--cache-max" => {
+                let v = value("--cache-max")?;
+                cfg.cache_max_entries =
+                    v.parse().map_err(|_| format!("bad cache size `{v}`"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("preexecd: {msg}");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::bind(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("preexecd: binding {}: {e}", cfg.addr);
+            std::process::exit(3);
+        }
+    };
+    // Flush so a parent process polling our stdout sees the address
+    // before the first connection.
+    println!("preexecd listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        eprintln!("preexecd: serving: {e}");
+        std::process::exit(4);
+    }
+}

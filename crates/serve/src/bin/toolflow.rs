@@ -1,0 +1,279 @@
+//! The paper's decoupled toolflow (§4.1): the functional cache simulator
+//! writes slice trees to a file once; the p-thread selection tool then
+//! reads the file and generates p-thread sets for several machine
+//! configurations quickly, without re-tracing.
+//!
+//! Usage: `toolflow [--jobs N] [workload[,workload...]|all] [budget] [out.slices]`
+//!        `toolflow --read <file.slices>` (selection only, no re-tracing)
+//!
+//! With several workloads the runs are scheduled over `--jobs N` worker
+//! threads (default 1). Output is buffered per workload and printed in
+//! submission order, so it is byte-identical for every `N`; `--jobs 1`
+//! additionally *executes* serially, matching the historical behaviour.
+//!
+//! Exit codes:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | success |
+//! | 2 | usage error: unknown workload, unparsable budget, or bad flags |
+//! | 3 | filesystem I/O error |
+//! | 4 | corrupt slice file (recovered results, if any, are still printed) |
+//! | 5 | pipeline fault (trace/slice/selection error) |
+//!
+//! With several workloads the process exits with the first failing
+//! workload's code (in submission order).
+
+use preexec_core::{select_pthreads, SelectionParams};
+use preexec_experiments::pipeline::try_trace_and_slice_warm;
+use preexec_serve::scheduler::{JobCompletion, Scheduler};
+use preexec_slice::{read_forest, read_forest_lenient, write_forest, SliceForest};
+use preexec_workloads::{suite, InputSet, Workload};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// A CLI failure: the message for stderr plus the process exit code.
+struct Failure {
+    code: u8,
+    message: String,
+}
+
+impl Failure {
+    fn new(code: u8, message: impl Into<String>) -> Failure {
+        Failure { code, message: message.into() }
+    }
+}
+
+/// One workload's buffered run: everything it would have printed, plus
+/// its exit code. Buffering is what makes `--jobs N` output
+/// deterministic — lines never interleave across workloads.
+#[derive(Clone, Default)]
+struct JobReport {
+    stdout: String,
+    stderr: String,
+    code: u8,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => ExitCode::from(code),
+        Err(f) => {
+            eprintln!("toolflow: {}", f.message);
+            ExitCode::from(f.code)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<u8, Failure> {
+    let mut jobs: usize = 1;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| Failure::new(2, "--jobs needs a value"))?;
+                jobs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| Failure::new(2, format!("bad job count `{v}`")))?;
+            }
+            // Selection-only mode: the whole point of the decoupled
+            // toolflow is that pass 2 can rerun without re-tracing.
+            "--read" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| Failure::new(2, "usage: toolflow --read <file.slices>"))?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| Failure::new(3, format!("reading {path}: {e}")))?;
+                let mut report = JobReport::default();
+                read_and_select(path, &text, &mut report);
+                print!("{}", report.stdout);
+                eprint!("{}", report.stderr);
+                return Ok(report.code);
+            }
+            other if other.starts_with("--") => {
+                return Err(Failure::new(2, format!("unknown option `{other}`")));
+            }
+            _ => positional.push(arg),
+        }
+    }
+
+    let names = positional.first().map_or("vpr.r", |s| s.as_str());
+    let budget: u64 = match positional.get(1) {
+        None => 150_000,
+        Some(s) => s
+            .parse()
+            .map_err(|_| Failure::new(2, format!("budget `{s}` is not a number")))?,
+    };
+
+    let workloads = suite();
+    let selected: Vec<&Workload> = if names == "all" {
+        workloads.iter().collect()
+    } else {
+        names
+            .split(',')
+            .map(|name| {
+                workloads.iter().find(|w| w.name == name).ok_or_else(|| {
+                    let avail: Vec<&str> = workloads.iter().map(|w| w.name).collect();
+                    Failure::new(
+                        2,
+                        format!("unknown workload `{name}`; available: {}", avail.join(", ")),
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
+    if selected.len() > 1 && positional.get(2).is_some() {
+        return Err(Failure::new(
+            2,
+            "an explicit output path only works with a single workload",
+        ));
+    }
+
+    // Schedule the workloads; buffer each job's output and print in
+    // submission order.
+    let sched: Scheduler<JobReport> = Scheduler::new(jobs, selected.len().max(1));
+    let ids: Vec<_> = selected
+        .iter()
+        .map(|w| {
+            let name = w.name.to_string();
+            let program = w.build(InputSet::Train);
+            let path = positional
+                .get(2)
+                .cloned()
+                .cloned()
+                .unwrap_or_else(|| format!("{name}.slices"));
+            sched
+                .submit(Box::new(move || {
+                    JobCompletion::Done(run_workload(&name, &program, budget, &path))
+                }))
+                .map_err(|e| Failure::new(2, format!("submitting {}: {e}", w.name)))
+        })
+        .collect::<Result<_, _>>()?;
+    sched.drain();
+
+    let mut first_bad: u8 = 0;
+    for id in ids {
+        let Some(JobCompletion::Done(report)) = sched.completion(id) else {
+            // Workers convert panics into Panicked; nothing else occurs.
+            return Err(Failure::new(5, format!("job {id} died unexpectedly")));
+        };
+        print!("{}", report.stdout);
+        eprint!("{}", report.stderr);
+        if first_bad == 0 {
+            first_bad = report.code;
+        }
+    }
+    sched.shutdown();
+    Ok(first_bad)
+}
+
+/// Runs one workload end to end (pass 1 trace+write, pass 2
+/// read+select), entirely into the report's buffers.
+fn run_workload(
+    name: &str,
+    program: &preexec_isa::Program,
+    budget: u64,
+    path: &str,
+) -> JobReport {
+    let mut report = JobReport::default();
+    // Pass 1 (expensive, once): trace and slice, write the file.
+    let (forest, stats) =
+        match try_trace_and_slice_warm(program, 1024, 32, budget, budget / 4) {
+            Ok(x) => x,
+            Err(e) => {
+                let _ = writeln!(report.stderr, "toolflow: tracing {name}: {e}");
+                report.code = 5;
+                return report;
+            }
+        };
+    if let Err(e) = std::fs::write(path, write_forest(&forest)) {
+        let _ = writeln!(report.stderr, "toolflow: writing {path}: {e}");
+        report.code = 3;
+        return report;
+    }
+    let _ = writeln!(
+        report.stdout,
+        "{name}: traced {} insts, {} L2 misses -> {} slice trees written to {path}",
+        stats.insts,
+        stats.l2_misses,
+        forest.num_trees()
+    );
+
+    // Pass 2 (cheap, many times): read the file back and select p-thread
+    // sets for several configurations.
+    match std::fs::read_to_string(path) {
+        Ok(text) => read_and_select(path, &text, &mut report),
+        Err(e) => {
+            let _ = writeln!(report.stderr, "toolflow: reading {path}: {e}");
+            report.code = 3;
+        }
+    }
+    report
+}
+
+/// Pass 2: parse a slice file (strictly, with best-effort recovery on
+/// corruption) and report p-thread selections.
+fn read_and_select(path: &str, text: &str, report: &mut JobReport) {
+    match read_forest(text) {
+        Ok(forest) => select_and_report(&forest, report),
+        Err(strict_err) => {
+            // Corruption always exits nonzero, but salvage what we can
+            // first: a partially recovered forest still yields a usable
+            // (if under-covered) p-thread set.
+            let _ = writeln!(report.stderr, "toolflow: {path}: {strict_err}");
+            let recovered = read_forest_lenient(text);
+            for d in &recovered.diagnostics {
+                let _ = writeln!(report.stderr, "toolflow: {path}: {d}");
+            }
+            if recovered.forest.num_trees() > 0 {
+                let _ = writeln!(
+                    report.stderr,
+                    "toolflow: {path}: recovered {} trees ({} skipped); results below are partial",
+                    recovered.forest.num_trees(),
+                    recovered.skipped_trees
+                );
+                select_and_report(&recovered.forest, report);
+            }
+            let _ = writeln!(
+                report.stderr,
+                "toolflow: {path}: corrupt slice file ({} trees recovered, {} skipped)",
+                recovered.forest.num_trees(),
+                recovered.skipped_trees
+            );
+            report.code = 4;
+        }
+    }
+}
+
+/// Selects and prints p-thread sets for several machine configurations.
+fn select_and_report(forest: &SliceForest, report: &mut JobReport) {
+    for (label, params) in [
+        ("8-wide, 78-cycle misses", SelectionParams { bw_seq: 8.0, ipc: 0.5, miss_latency: 78.0, ..SelectionParams::default() }),
+        ("8-wide, 148-cycle misses", SelectionParams { bw_seq: 8.0, ipc: 0.5, miss_latency: 148.0, ..SelectionParams::default() }),
+        ("4-wide, 78-cycle misses", SelectionParams { bw_seq: 4.0, ipc: 0.5, miss_latency: 78.0, ..SelectionParams::default() }),
+        ("no optimization", SelectionParams { ipc: 0.5, optimize: false, ..SelectionParams::default() }),
+    ] {
+        if let Err(e) = params.try_validate() {
+            let _ = writeln!(
+                report.stderr,
+                "toolflow: selection parameters [{label}]: {e}"
+            );
+            report.code = 5;
+            return;
+        }
+        let sel = select_pthreads(forest, &params);
+        let _ = writeln!(
+            report.stdout,
+            "  [{label}] {} p-threads, predicted coverage {}/{} misses, avg len {:.1}",
+            sel.pthreads.len(),
+            sel.prediction.misses_covered,
+            forest.total_misses(),
+            sel.prediction.avg_pthread_len
+        );
+    }
+}

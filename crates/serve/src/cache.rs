@@ -1,0 +1,476 @@
+//! Content-addressed artifact cache for trace/slice products.
+//!
+//! The expensive half of the pipeline — functional trace plus slice-tree
+//! construction — depends only on (workload, input, trace configuration),
+//! not on the machine or selection parameters. "Dynamic Slicing by
+//! On-demand Re-execution"-style reuse therefore applies: the service
+//! persists each (forest, stats) pair once, keyed by the FNV-1a-64 digest
+//! of the trace inputs, and re-selection under new [`MachineParams`] skips
+//! re-tracing entirely.
+//!
+//! On disk an entry is two sibling files under the cache directory:
+//!
+//! - `<digest>.slices` — the forest in the checksummed v2 slice-file
+//!   format ([`preexec_slice::write_forest`]), so cache entries are
+//!   integrity-checked and interoperable with `toolflow --read`;
+//! - `<digest>.stats` — the [`RunStats`] as one line of JSON.
+//!
+//! Failure semantics follow DESIGN.md §9: a corrupt entry is *diagnosed*
+//! through [`read_forest_lenient`], counted, and treated as a miss — the
+//! job recomputes and overwrites; it never fails. Only a byte-identical
+//! clean parse is served as a hit, because the service's contract is that
+//! cached runs are bit-identical to direct ones. Writes are
+//! temp-file-plus-rename so a crashed writer cannot leave a torn entry
+//! under the final name, and the directory is created lazily on first
+//! store.
+//!
+//! [`MachineParams`]: preexec_timing::MachineParams
+
+use crate::json::Json;
+use preexec_func::{LoadSiteStats, RunStats};
+use preexec_slice::{read_forest_lenient, write_forest, SliceForest};
+use preexec_workloads::InputSet;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Everything the trace+slice stage depends on: the cache key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceKey {
+    /// Workload name (suite registry name).
+    pub workload: String,
+    /// Input set the workload was built with.
+    pub input: InputSet,
+    /// Slicing scope.
+    pub scope: usize,
+    /// Maximum stored slice length.
+    pub max_slice_len: usize,
+    /// Measured instruction budget.
+    pub budget: u64,
+    /// Warm-up instructions preceding the measured window.
+    pub warmup: u64,
+}
+
+/// The canonical wire name of an input set.
+pub fn input_name(input: InputSet) -> &'static str {
+    match input {
+        InputSet::Train => "train",
+        InputSet::Test => "test",
+        InputSet::Alt => "alt",
+    }
+}
+
+/// Parses an input-set name (the inverse of [`input_name`]).
+pub fn parse_input(name: &str) -> Option<InputSet> {
+    match name {
+        "train" => Some(InputSet::Train),
+        "test" => Some(InputSet::Test),
+        "alt" => Some(InputSet::Alt),
+        _ => None,
+    }
+}
+
+/// FNV-1a, 64-bit — same integrity-grade hash the slice-file header uses.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl TraceKey {
+    /// The content-address of this key: FNV-1a-64 over a canonical
+    /// rendering of every field (NUL-separated so no two distinct keys
+    /// share a rendering).
+    pub fn digest(&self) -> u64 {
+        let canonical = format!(
+            "{}\0{}\0{}\0{}\0{}\0{}",
+            self.workload,
+            input_name(self.input),
+            self.scope,
+            self.max_slice_len,
+            self.budget,
+            self.warmup
+        );
+        fnv1a64(canonical.as_bytes())
+    }
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries served from disk.
+    pub hits: u64,
+    /// Lookups that found no (usable) entry.
+    pub misses: u64,
+    /// Entries removed to stay under the capacity bound.
+    pub evictions: u64,
+    /// Lookups that found an entry but could not parse it cleanly.
+    pub corrupt: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, in [0, 1] (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The on-disk artifact cache. Thread-safe: lookups and stores touch
+/// independent files and the counters are atomic, so workers share one
+/// instance behind an [`Arc`](std::sync::Arc) without locking.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+    max_entries: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// Creates a cache rooted at `dir`, holding at most `max_entries`
+    /// entries (oldest evicted first). No filesystem work happens here —
+    /// the directory is created lazily by the first [`store`](Self::store).
+    pub fn new(dir: impl Into<PathBuf>, max_entries: usize) -> ArtifactCache {
+        ArtifactCache {
+            dir: dir.into(),
+            max_entries: max_entries.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn slices_path(&self, key: &TraceKey) -> PathBuf {
+        self.dir.join(format!("{:016x}.slices", key.digest()))
+    }
+
+    fn stats_path(&self, key: &TraceKey) -> PathBuf {
+        self.dir.join(format!("{:016x}.stats", key.digest()))
+    }
+
+    /// Looks up the artifacts for `key`. `None` (a counted miss) when the
+    /// entry is absent or fails to parse cleanly; corruption additionally
+    /// bumps the `corrupt` counter and removes the bad files so the
+    /// recompute's store starts clean.
+    pub fn load(&self, key: &TraceKey) -> Option<(SliceForest, RunStats)> {
+        match self.try_load(key) {
+            Some(artifacts) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(artifacts)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn try_load(&self, key: &TraceKey) -> Option<(SliceForest, RunStats)> {
+        let slices_path = self.slices_path(key);
+        let text = std::fs::read_to_string(&slices_path).ok()?;
+        // Lenient read is the fallback path required for corrupt entries:
+        // it never panics, and its diagnostics tell us whether the entry
+        // parsed byte-clean. Anything less than clean is recomputed — a
+        // partially recovered forest would silently change selections.
+        let recovered = read_forest_lenient(&text);
+        if !recovered.is_clean() {
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
+            let _ = std::fs::remove_file(&slices_path);
+            let _ = std::fs::remove_file(self.stats_path(key));
+            return None;
+        }
+        let stats_text = std::fs::read_to_string(self.stats_path(key)).ok()?;
+        let stats = match Json::parse(&stats_text).ok().and_then(|j| stats_from_json(&j)) {
+            Some(s) => s,
+            None => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(&slices_path);
+                let _ = std::fs::remove_file(self.stats_path(key));
+                return None;
+            }
+        };
+        Some((recovered.forest, stats))
+    }
+
+    /// Persists the artifacts for `key`, creating the cache directory if
+    /// needed and evicting the oldest entries beyond the capacity bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (callers treat the cache as
+    /// best-effort: a failed store degrades to recomputation next time).
+    pub fn store(
+        &self,
+        key: &TraceKey,
+        forest: &SliceForest,
+        stats: &RunStats,
+    ) -> io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        write_atomically(&self.slices_path(key), &write_forest(forest))?;
+        write_atomically(&self.stats_path(key), &stats_to_json(stats).encode())?;
+        self.evict_excess();
+        Ok(())
+    }
+
+    /// Removes the oldest entries (by modification time) until at most
+    /// `max_entries` remain.
+    fn evict_excess(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut slices: Vec<(std::time::SystemTime, PathBuf)> = entries
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "slices"))
+            .filter_map(|e| {
+                let mtime = e.metadata().and_then(|m| m.modified()).ok()?;
+                Some((mtime, e.path()))
+            })
+            .collect();
+        if slices.len() <= self.max_entries {
+            return;
+        }
+        slices.sort_by_key(|a| a.0);
+        let excess = slices.len() - self.max_entries;
+        for (_, path) in slices.into_iter().take(excess) {
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(path.with_extension("stats"));
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A snapshot of the hit/miss/eviction/corruption counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serializes [`RunStats`] as one JSON object (load sites sorted by PC so
+/// encoding is deterministic).
+pub fn stats_to_json(stats: &RunStats) -> Json {
+    let mut sites: Vec<_> = stats.load_sites.iter().collect();
+    sites.sort_by_key(|(pc, _)| **pc);
+    let sites = sites
+        .into_iter()
+        .map(|(pc, s)| {
+            Json::Arr(vec![
+                Json::num_u64(u64::from(*pc)),
+                Json::num_u64(s.execs),
+                Json::num_u64(s.l1_misses),
+                Json::num_u64(s.l2_misses),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("insts", Json::num_u64(stats.insts)),
+        ("total_steps", Json::num_u64(stats.total_steps)),
+        ("loads", Json::num_u64(stats.loads)),
+        ("stores", Json::num_u64(stats.stores)),
+        ("branches", Json::num_u64(stats.branches)),
+        ("taken_branches", Json::num_u64(stats.taken_branches)),
+        ("l1d_misses", Json::num_u64(stats.l1d_misses)),
+        ("l2_misses", Json::num_u64(stats.l2_misses)),
+        ("timed_out", Json::Bool(stats.timed_out)),
+        ("load_sites", Json::Arr(sites)),
+    ])
+}
+
+/// Deserializes [`stats_to_json`]'s output; `None` on any missing or
+/// mistyped field.
+pub fn stats_from_json(json: &Json) -> Option<RunStats> {
+    let mut stats = RunStats::new();
+    stats.insts = json.get("insts")?.as_u64()?;
+    stats.total_steps = json.get("total_steps")?.as_u64()?;
+    stats.loads = json.get("loads")?.as_u64()?;
+    stats.stores = json.get("stores")?.as_u64()?;
+    stats.branches = json.get("branches")?.as_u64()?;
+    stats.taken_branches = json.get("taken_branches")?.as_u64()?;
+    stats.l1d_misses = json.get("l1d_misses")?.as_u64()?;
+    stats.l2_misses = json.get("l2_misses")?.as_u64()?;
+    stats.timed_out = json.get("timed_out")?.as_bool()?;
+    for site in json.get("load_sites")?.as_arr()? {
+        let fields = site.as_arr()?;
+        if fields.len() != 4 {
+            return None;
+        }
+        let pc = preexec_isa::Pc::try_from(fields[0].as_u64()?).ok()?;
+        stats.load_sites.insert(
+            pc,
+            LoadSiteStats {
+                execs: fields[1].as_u64()?,
+                l1_misses: fields[2].as_u64()?,
+                l2_misses: fields[3].as_u64()?,
+            },
+        );
+    }
+    Some(stats)
+}
+
+/// Writes `contents` to `path` via a sibling temp file and an atomic
+/// rename, so readers never observe a torn entry. The temp name embeds
+/// the target's extension: the `.slices` and `.stats` halves of one entry
+/// must not share a staging file.
+fn write_atomically(path: &Path, contents: &str) -> io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_func::{run_trace, TraceConfig};
+    use preexec_slice::SliceForestBuilder;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("preexec-serve-cache-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_artifacts() -> (SliceForest, RunStats) {
+        let p = preexec_isa::assemble(
+            "t",
+            "li r1, 0x100000\n li r2, 0\n li r3, 512\n\
+             top: bge r2, r3, done\n ld r4, 0(r1)\n addi r1, r1, 64\n addi r2, r2, 1\n j top\n\
+             done: halt",
+        )
+        .unwrap();
+        let mut b = SliceForestBuilder::new(1024, 16);
+        let full = run_trace(&p, &TraceConfig::default(), |d| b.observe(d));
+        let mut stats = RunStats::new();
+        stats.insts = full.total_steps;
+        stats.total_steps = full.total_steps;
+        stats.l2_misses = 17;
+        stats.record_load(4, preexec_mem::MemLevel::Memory);
+        (b.finish(), stats)
+    }
+
+    fn key(workload: &str) -> TraceKey {
+        TraceKey {
+            workload: workload.to_string(),
+            input: InputSet::Train,
+            scope: 1024,
+            max_slice_len: 16,
+            budget: 10_000,
+            warmup: 0,
+        }
+    }
+
+    #[test]
+    fn digests_separate_distinct_keys() {
+        let base = key("vpr.r");
+        let mut other = key("vpr.r");
+        other.budget += 1;
+        assert_ne!(base.digest(), other.digest());
+        assert_ne!(base.digest(), key("mcf").digest());
+        assert_eq!(base.digest(), key("vpr.r").digest());
+        let swapped = TraceKey { input: InputSet::Alt, ..key("vpr.r") };
+        assert_ne!(base.digest(), swapped.digest());
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = tmp_dir("round-trip");
+        let cache = ArtifactCache::new(&dir, 8);
+        let (forest, stats) = sample_artifacts();
+        let k = key("vpr.r");
+        assert!(cache.load(&k).is_none(), "cold cache must miss");
+        cache.store(&k, &forest, &stats).expect("store");
+        let (forest2, stats2) = cache.load(&k).expect("hit");
+        assert_eq!(forest2.num_trees(), forest.num_trees());
+        assert_eq!(forest2.sample_insts(), forest.sample_insts());
+        assert_eq!(stats2.insts, stats.insts);
+        assert_eq!(stats2.l2_misses, stats.l2_misses);
+        assert_eq!(stats2.load_sites.len(), stats.load_sites.len());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.corrupt), (1, 1, 0));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_counted_miss_not_a_failure() {
+        let dir = tmp_dir("corrupt");
+        let cache = ArtifactCache::new(&dir, 8);
+        let (forest, stats) = sample_artifacts();
+        let k = key("vpr.r");
+        cache.store(&k, &forest, &stats).expect("store");
+        // Truncate the slice file mid-payload: checksum now mismatches.
+        let path = cache.slices_path(&k);
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+        assert!(cache.load(&k).is_none(), "corrupt entry must miss");
+        assert_eq!(cache.stats().corrupt, 1);
+        // The bad entry was removed; a fresh store works and hits again.
+        cache.store(&k, &forest, &stats).expect("re-store");
+        assert!(cache.load(&k).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_stats_file_also_misses() {
+        let dir = tmp_dir("corrupt-stats");
+        let cache = ArtifactCache::new(&dir, 8);
+        let (forest, stats) = sample_artifacts();
+        let k = key("gap");
+        cache.store(&k, &forest, &stats).expect("store");
+        std::fs::write(cache.stats_path(&k), "{ not json").expect("mangle");
+        assert!(cache.load(&k).is_none());
+        assert_eq!(cache.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_bounds_the_entry_count() {
+        let dir = tmp_dir("evict");
+        let cache = ArtifactCache::new(&dir, 2);
+        let (forest, stats) = sample_artifacts();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            let mut k = key(name);
+            k.budget = 1000 + i as u64;
+            cache.store(&k, &forest, &stats).expect("store");
+        }
+        let remaining = std::fs::read_dir(&dir)
+            .expect("dir")
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "slices"))
+            .count();
+        assert_eq!(remaining, 2);
+        assert_eq!(cache.stats().evictions, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_json_round_trips() {
+        let (_, stats) = sample_artifacts();
+        let back = stats_from_json(&stats_to_json(&stats)).expect("round-trip");
+        assert_eq!(back.insts, stats.insts);
+        assert_eq!(back.load_sites, stats.load_sites);
+        assert!(stats_from_json(&Json::Null).is_none());
+        assert!(stats_from_json(&Json::obj(vec![("insts", Json::Num(1.0))])).is_none());
+    }
+}

@@ -1,0 +1,49 @@
+//! `preexec-serve` — a batch p-thread analysis service.
+//!
+//! The analysis pipeline (functional trace → slice forest → p-thread
+//! selection → timing simulation) is deterministic and embarrassingly
+//! parallel across (workload, machine, config) points, and its most
+//! expensive stage — trace+slice — is machine-independent. This crate
+//! packages that shape as a service:
+//!
+//! - [`scheduler`] — a bounded-queue, fixed-pool parallel job scheduler
+//!   with per-job terminal states and graceful drain;
+//! - [`cache`] — a content-addressed artifact cache that persists trace
+//!   statistics and slice forests in the checksummed v2 slice-file
+//!   format, keyed by an FNV-1a-64 digest of everything the trace stage
+//!   depends on;
+//! - [`service`] — job execution: the staged pipeline with cache reuse
+//!   and per-stage latency accounting;
+//! - [`proto`] + [`json`] — a newline-delimited JSON wire protocol over
+//!   a hand-rolled, dependency-free JSON module;
+//! - [`server`] — the `preexecd` TCP front end tying it all together;
+//! - [`histogram`] — power-of-two-bucket latency histograms backing the
+//!   `stats` report.
+//!
+//! Two binaries ship with the crate: `preexecd` (the daemon) and
+//! `toolflow` (the batch CLI, which runs its workloads through the same
+//! scheduler via `--jobs N`).
+//!
+//! Everything here is `std`-only: no async runtime, no serde, no
+//! registry dependencies. OS threads and blocking sockets are a good
+//! fit — jobs run for seconds, connections are few, and determinism of
+//! the *results* (bit-identical to a direct pipeline run) is the
+//! contract that matters.
+
+pub mod cache;
+pub mod histogram;
+pub mod json;
+pub mod proto;
+pub mod scheduler;
+pub mod server;
+pub mod service;
+
+pub use cache::{ArtifactCache, CacheStats, TraceKey};
+pub use histogram::Histogram;
+pub use json::Json;
+pub use proto::{parse_request, Request};
+pub use scheduler::{
+    JobCompletion, JobId, JobState, Scheduler, SchedulerStats, SubmitError,
+};
+pub use server::{Server, ServerConfig};
+pub use service::{run_job, JobOutput, JobSpec, StageHists, StageMicros};

@@ -1,0 +1,294 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request. Every response
+//! carries `"ok"`: `true` with the payload, or `false` with `"error"`.
+//!
+//! | `cmd` | fields | response payload |
+//! |-------|--------|------------------|
+//! | `submit` | `workload` (required), `input`, `budget`, `warmup`, `scope`, `max_slice_len`, `max_pthread_len`, `optimize`, `merge`, `width`, `mem_latency`, `model_miss_latency`, `model_width` | `job` id |
+//! | `status` | `job` | `state` (+ `error` when failed) |
+//! | `result` | `job` | `state`, `cache_hit`, `result{...}` |
+//! | `stats` | — | queue/worker/cache/stage-latency report |
+//! | `shutdown` | — | `shutting_down: true`, then the daemon drains |
+//!
+//! Submit fields default to [`PipelineConfig::paper_default`] at the
+//! given budget (default 120 000 instructions); `width` and
+//! `mem_latency` override the corresponding [`MachineParams`] fields,
+//! the `model_*` fields the selection model's cross-validation knobs.
+//!
+//! [`MachineParams`]: preexec_timing::MachineParams
+
+use crate::cache::parse_input;
+use crate::json::Json;
+use crate::scheduler::JobId;
+use crate::service::{JobOutput, JobSpec};
+use preexec_experiments::pipeline::pct;
+use preexec_experiments::PipelineConfig;
+use preexec_workloads::InputSet;
+
+/// A parsed request.
+#[derive(Clone)]
+pub enum Request {
+    /// Enqueue a job.
+    Submit(Box<JobSpec>),
+    /// Report a job's state.
+    Status(JobId),
+    /// Report a finished job's result.
+    Result(JobId),
+    /// Report service-wide statistics.
+    Stats,
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, unknown
+/// commands, missing/mistyped fields, unknown workloads, or an invalid
+/// pipeline configuration (validated *before* the job is queued).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let json = Json::parse(line).map_err(|e| e.to_string())?;
+    let cmd = json
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string field `cmd`".to_string())?;
+    match cmd {
+        "submit" => parse_submit(&json).map(|s| Request::Submit(Box::new(s))),
+        "status" => job_id(&json).map(Request::Status),
+        "result" => job_id(&json).map(Request::Result),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown cmd `{other}` (expected submit, status, result, stats, or shutdown)"
+        )),
+    }
+}
+
+fn job_id(json: &Json) -> Result<JobId, String> {
+    json.get("job")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "missing numeric field `job`".to_string())
+}
+
+fn opt_u64(json: &Json, key: &str) -> Result<Option<u64>, String> {
+    match json.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+fn opt_f64(json: &Json, key: &str) -> Result<Option<f64>, String> {
+    match json.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a number")),
+    }
+}
+
+fn opt_bool(json: &Json, key: &str) -> Result<Option<bool>, String> {
+    match json.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a boolean")),
+    }
+}
+
+fn parse_submit(json: &Json) -> Result<JobSpec, String> {
+    let workload = json
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "submit needs a string field `workload`".to_string())?;
+    let input = match json.get("input") {
+        None | Some(Json::Null) => InputSet::Train,
+        Some(v) => {
+            let name = v.as_str().ok_or("field `input` must be a string")?;
+            parse_input(name)
+                .ok_or_else(|| format!("unknown input `{name}` (train, test, or alt)"))?
+        }
+    };
+    let budget = opt_u64(json, "budget")?.unwrap_or(120_000);
+    let mut cfg = PipelineConfig::paper_default(budget);
+    if let Some(x) = opt_u64(json, "warmup")? {
+        cfg.warmup = x;
+    }
+    if let Some(x) = opt_u64(json, "scope")? {
+        cfg.scope = x as usize;
+    }
+    if let Some(x) = opt_u64(json, "max_slice_len")? {
+        cfg.max_slice_len = x as usize;
+    }
+    if let Some(x) = opt_u64(json, "max_pthread_len")? {
+        cfg.max_pthread_len = x as usize;
+    }
+    if let Some(x) = opt_bool(json, "optimize")? {
+        cfg.optimize = x;
+    }
+    if let Some(x) = opt_bool(json, "merge")? {
+        cfg.merge = x;
+    }
+    if let Some(x) = opt_u64(json, "width")? {
+        cfg.machine.width = u32::try_from(x).map_err(|_| "field `width` too large")?;
+    }
+    if let Some(x) = opt_u64(json, "mem_latency")? {
+        cfg.machine.mem_latency = x;
+    }
+    if let Some(x) = opt_f64(json, "model_miss_latency")? {
+        cfg.model_miss_latency = Some(x);
+    }
+    if let Some(x) = opt_f64(json, "model_width")? {
+        cfg.model_width = Some(x);
+    }
+    // Reject bad configurations at the door: a queued job that can only
+    // fail wastes a worker slot and hides the mistake from the client.
+    cfg.try_validate().map_err(|e| e.to_string())?;
+    JobSpec::new(workload, input, cfg)
+}
+
+/// `{"ok": false, "error": message}`.
+pub fn error_response(message: &str) -> Json {
+    Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::str(message))])
+}
+
+/// `{"ok": true, ...fields}`.
+pub fn ok_response(fields: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![("ok", Json::Bool(true))];
+    pairs.extend(fields);
+    Json::obj(pairs)
+}
+
+/// Serializes one [`SimResult`](preexec_timing::SimResult)'s
+/// service-relevant counters.
+fn sim_json(r: &preexec_timing::SimResult) -> Json {
+    Json::obj(vec![
+        ("cycles", Json::num_u64(r.cycles)),
+        ("insts", Json::num_u64(r.insts)),
+        ("ipc", Json::Num(r.ipc())),
+        ("l2_misses", Json::num_u64(r.mem.l2_misses)),
+        ("covered_full", Json::num_u64(r.mem.covered_full)),
+        ("covered_partial", Json::num_u64(r.mem.covered_partial)),
+        ("launches", Json::num_u64(r.launches)),
+        ("squashes", Json::num_u64(r.squashes)),
+        ("timed_out", Json::Bool(r.timed_out)),
+    ])
+}
+
+/// The `result` payload for a finished job.
+pub fn result_json(out: &JobOutput) -> Json {
+    let r = &out.result;
+    Json::obj(vec![
+        ("workload", Json::str(out.workload.clone())),
+        ("input", Json::str(crate::cache::input_name(out.input))),
+        ("cache_hit", Json::Bool(out.cache_hit)),
+        ("speedup", Json::Num(r.speedup())),
+        ("coverage_pct", Json::Num(r.coverage_pct())),
+        ("full_coverage_pct", Json::Num(r.full_coverage_pct())),
+        ("num_pthreads", Json::num_u64(r.selection.pthreads.len() as u64)),
+        (
+            "predicted_coverage_pct",
+            Json::Num(pct(r.selection.prediction.misses_covered, r.stats.l2_misses)),
+        ),
+        ("base", sim_json(&r.base)),
+        ("assisted", sim_json(&r.assisted)),
+        (
+            "trace",
+            Json::obj(vec![
+                ("insts", Json::num_u64(r.stats.insts)),
+                ("l2_misses", Json::num_u64(r.stats.l2_misses)),
+                ("loads", Json::num_u64(r.stats.loads)),
+            ]),
+        ),
+        (
+            "stage_us",
+            Json::obj(vec![
+                ("trace", Json::num_u64(out.stage_us.trace)),
+                ("base_sim", Json::num_u64(out.stage_us.base_sim)),
+                ("select", Json::num_u64(out.stage_us.select)),
+                ("assisted_sim", Json::num_u64(out.stage_us.assisted_sim)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_command() {
+        assert!(matches!(
+            parse_request(r#"{"cmd":"submit","workload":"vpr.r"}"#),
+            Ok(Request::Submit(_))
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"status","job":3}"#),
+            Ok(Request::Status(3))
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"result","job":9}"#),
+            Ok(Request::Result(9))
+        ));
+        assert!(matches!(parse_request(r#"{"cmd":"stats"}"#), Ok(Request::Stats)));
+        assert!(matches!(parse_request(r#"{"cmd":"shutdown"}"#), Ok(Request::Shutdown)));
+    }
+
+    #[test]
+    fn submit_applies_defaults_and_overrides() {
+        let req = parse_request(
+            r#"{"cmd":"submit","workload":"mcf","input":"test","budget":50000,
+                "width":4,"mem_latency":140,"optimize":false,"model_width":6.5}"#,
+        )
+        .expect("parses");
+        let Request::Submit(spec) = req else {
+            panic!("expected submit");
+        };
+        assert_eq!(spec.workload_name, "mcf");
+        assert_eq!(spec.input, InputSet::Test);
+        assert_eq!(spec.cfg.budget, 50_000);
+        assert_eq!(spec.cfg.warmup, 12_500, "warmup defaults to budget/4");
+        assert_eq!(spec.cfg.machine.width, 4);
+        assert_eq!(spec.cfg.machine.mem_latency, 140);
+        assert!(!spec.cfg.optimize);
+        assert_eq!(spec.cfg.model_width, Some(6.5));
+        // Defaults match the paper configuration.
+        assert_eq!(spec.cfg.scope, 1024);
+        assert_eq!(spec.cfg.max_pthread_len, 32);
+    }
+
+    #[test]
+    fn submit_rejects_bad_requests_with_messages() {
+        for (line, needle) in [
+            ("not json", "JSON"),
+            (r#"{"cmd":"submit"}"#, "workload"),
+            (r#"{"cmd":"submit","workload":"nope"}"#, "unknown workload"),
+            (r#"{"cmd":"submit","workload":"mcf","input":"huge"}"#, "unknown input"),
+            (r#"{"cmd":"submit","workload":"mcf","budget":0}"#, "budget"),
+            (r#"{"cmd":"submit","workload":"mcf","width":0}"#, "width"),
+            (r#"{"cmd":"submit","workload":"mcf","budget":-3}"#, "budget"),
+            (r#"{"cmd":"status"}"#, "job"),
+            (r#"{"cmd":"wat"}"#, "unknown cmd"),
+            (r#"{}"#, "cmd"),
+        ] {
+            let e = parse_request(line).err().unwrap_or_default();
+            assert!(e.contains(needle), "`{line}` → `{e}` (wanted `{needle}`)");
+        }
+    }
+
+    #[test]
+    fn responses_have_the_ok_envelope() {
+        let ok = ok_response(vec![("job", Json::num_u64(4))]);
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(ok.get("job").and_then(Json::as_u64), Some(4));
+        let err = error_response("nope");
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(err.get("error").and_then(Json::as_str), Some("nope"));
+    }
+}

@@ -1,0 +1,492 @@
+//! A bounded-queue, fixed-pool parallel job scheduler.
+//!
+//! The service's unit of work is one pipeline run; this module schedules
+//! many of them over `N` OS threads with a bounded submission queue
+//! (backpressure, not unbounded memory growth), per-job terminal states,
+//! and a graceful drain on shutdown. It is generic over the job's output
+//! type so both `preexecd` (structured [`PipelineResult`]s) and
+//! `toolflow --jobs N` (buffered report text) run on the same scheduler.
+//!
+//! Job deadlines are *not* wall-clock timers bolted on here: each job
+//! carries its own instruction/cycle budgets, and the watchdogs below it
+//! (`TraceConfig.max_steps`, `SimConfig.max_cycles`,
+//! `SimConfig.pthread_step_budget` — DESIGN.md §9.3) guarantee
+//! termination. A job whose timing run tripped `max_cycles` completes in
+//! the [`JobState::TimedOut`] state, result attached; a job that returns
+//! a typed error completes as [`JobState::Failed`]. A panicking job is
+//! caught (the worker survives) and reported as `Failed` with the panic
+//! message.
+//!
+//! [`PipelineResult`]: preexec_experiments::PipelineResult
+
+use preexec_experiments::PipelineError;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Identifies one submitted job (1-based, monotonically increasing).
+pub type JobId = u64;
+
+/// A unit of work: runs to completion and classifies its own outcome.
+pub type JobFn<T> = Box<dyn FnOnce() -> JobCompletion<T> + Send + 'static>;
+
+/// The observable lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished normally.
+    Done,
+    /// Finished with a typed pipeline error (or a caught panic).
+    Failed,
+    /// Finished, but a watchdog budget cut the run short.
+    TimedOut,
+}
+
+impl JobState {
+    /// The wire name of the state.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::TimedOut => "timed_out",
+        }
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a job finished.
+#[derive(Debug, Clone)]
+pub enum JobCompletion<T> {
+    /// The job produced its output.
+    Done(T),
+    /// The job produced output, but a watchdog truncated the run — the
+    /// output is the valid prefix (timeouts are not errors, §9.3).
+    TimedOut(T),
+    /// The job hit a typed pipeline fault.
+    Failed(PipelineError),
+    /// The job panicked; the worker caught it and carries the message.
+    Panicked(String),
+}
+
+impl<T> JobCompletion<T> {
+    /// The terminal [`JobState`] this completion maps to.
+    pub fn state(&self) -> JobState {
+        match self {
+            JobCompletion::Done(_) => JobState::Done,
+            JobCompletion::TimedOut(_) => JobState::TimedOut,
+            JobCompletion::Failed(_) | JobCompletion::Panicked(_) => JobState::Failed,
+        }
+    }
+
+    /// The output, when one exists (`Done` or `TimedOut`).
+    pub fn output(&self) -> Option<&T> {
+        match self {
+            JobCompletion::Done(out) | JobCompletion::TimedOut(out) => Some(out),
+            _ => None,
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity; retry after jobs drain.
+    QueueFull {
+        /// The configured capacity that was hit.
+        cap: usize,
+    },
+    /// The scheduler is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { cap } => {
+                write!(f, "job queue full ({cap} entries); retry later")
+            }
+            SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A point-in-time snapshot of scheduler occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Jobs accepted so far (all states).
+    pub submitted: u64,
+    /// Jobs waiting in the queue.
+    pub queued: usize,
+    /// Jobs currently on a worker.
+    pub running: usize,
+    /// Jobs finished in [`JobState::Done`].
+    pub done: u64,
+    /// Jobs finished in [`JobState::Failed`].
+    pub failed: u64,
+    /// Jobs finished in [`JobState::TimedOut`].
+    pub timed_out: u64,
+    /// Worker-pool size.
+    pub workers: usize,
+}
+
+impl SchedulerStats {
+    /// Busy workers over pool size, in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        if self.workers == 0 {
+            0.0
+        } else {
+            self.running as f64 / self.workers as f64
+        }
+    }
+}
+
+enum Record<T> {
+    Queued,
+    Running,
+    Finished(JobCompletion<T>),
+}
+
+struct SchedState<T> {
+    queue: VecDeque<(JobId, JobFn<T>)>,
+    records: HashMap<JobId, Record<T>>,
+    next_id: JobId,
+    accepting: bool,
+    busy: usize,
+    done: u64,
+    failed: u64,
+    timed_out: u64,
+}
+
+struct SchedInner<T> {
+    state: Mutex<SchedState<T>>,
+    /// Wakes idle workers (new work, or drain ordered).
+    work_cv: Condvar,
+    /// Wakes waiters (a job finished, or the pool went idle).
+    done_cv: Condvar,
+    queue_cap: usize,
+    workers: usize,
+}
+
+/// Recovers the guard from a poisoned mutex: scheduler state is a set of
+/// counters and enums that stay consistent even if a holder panicked
+/// (workers never panic while holding the lock — jobs run unlocked).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The scheduler: a bounded queue feeding a fixed worker pool.
+pub struct Scheduler<T> {
+    inner: Arc<SchedInner<T>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<T: Send + 'static> Scheduler<T> {
+    /// Spawns `workers` worker threads behind a queue of at most
+    /// `queue_cap` waiting jobs. Both are clamped to at least 1.
+    pub fn new(workers: usize, queue_cap: usize) -> Scheduler<T> {
+        let workers = workers.max(1);
+        let inner = Arc::new(SchedInner {
+            state: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                records: HashMap::new(),
+                next_id: 1,
+                accepting: true,
+                busy: 0,
+                done: 0,
+                failed: 0,
+                timed_out: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            queue_cap: queue_cap.max(1),
+            workers,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("preexec-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .unwrap_or_else(|e| panic!("spawning worker {i}: {e}"))
+            })
+            .collect();
+        Scheduler { inner, handles: Mutex::new(handles) }
+    }
+
+    /// Enqueues a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when `queue_cap` jobs are already
+    /// waiting, [`SubmitError::ShuttingDown`] after a drain started.
+    pub fn submit(&self, job: JobFn<T>) -> Result<JobId, SubmitError> {
+        let mut st = lock(&self.inner.state);
+        if !st.accepting {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.queue.len() >= self.inner.queue_cap {
+            return Err(SubmitError::QueueFull { cap: self.inner.queue_cap });
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.records.insert(id, Record::Queued);
+        st.queue.push_back((id, job));
+        drop(st);
+        self.inner.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// The job's current state; `None` for unknown ids.
+    pub fn state(&self, id: JobId) -> Option<JobState> {
+        let st = lock(&self.inner.state);
+        st.records.get(&id).map(|r| match r {
+            Record::Queued => JobState::Queued,
+            Record::Running => JobState::Running,
+            Record::Finished(c) => c.state(),
+        })
+    }
+
+    /// Blocks until the job reaches a terminal state and returns it;
+    /// `None` for unknown ids.
+    pub fn wait(&self, id: JobId) -> Option<JobState> {
+        let mut st = lock(&self.inner.state);
+        loop {
+            match st.records.get(&id) {
+                None => return None,
+                Some(Record::Finished(c)) => return Some(c.state()),
+                Some(_) => st = self.inner.done_cv.wait(st).unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+    }
+
+    /// A snapshot of how the job finished; `None` while it is still
+    /// queued/running and for unknown ids (disambiguate with
+    /// [`state`](Self::state)).
+    pub fn completion(&self, id: JobId) -> Option<JobCompletion<T>>
+    where
+        T: Clone,
+    {
+        let st = lock(&self.inner.state);
+        match st.records.get(&id) {
+            Some(Record::Finished(c)) => Some(c.clone()),
+            _ => None,
+        }
+    }
+
+    /// Occupancy counters.
+    pub fn stats(&self) -> SchedulerStats {
+        let st = lock(&self.inner.state);
+        SchedulerStats {
+            submitted: st.next_id - 1,
+            queued: st.queue.len(),
+            running: st.busy,
+            done: st.done,
+            failed: st.failed,
+            timed_out: st.timed_out,
+            workers: self.inner.workers,
+        }
+    }
+
+    /// Graceful drain: stops accepting new jobs, then blocks until every
+    /// queued and running job has finished. Idempotent.
+    pub fn drain(&self) {
+        let mut st = lock(&self.inner.state);
+        st.accepting = false;
+        self.inner.work_cv.notify_all();
+        while !st.queue.is_empty() || st.busy > 0 {
+            st = self.inner.done_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// [`drain`](Self::drain) plus worker-thread join: after this returns
+    /// no scheduler thread is alive. Idempotent.
+    pub fn shutdown(&self) {
+        self.drain();
+        let handles = std::mem::take(&mut *lock(&self.handles));
+        for h in handles {
+            // A worker that panicked outside a job (impossible by
+            // construction) has nothing left for us to salvage.
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop<T: Send + 'static>(inner: &SchedInner<T>) {
+    let mut st = lock(&inner.state);
+    loop {
+        if let Some((id, job)) = st.queue.pop_front() {
+            st.records.insert(id, Record::Running);
+            st.busy += 1;
+            drop(st);
+            // The job runs without the lock; a panic is converted into a
+            // terminal record so the pool and the job's waiters survive.
+            let completion = match catch_unwind(AssertUnwindSafe(job)) {
+                Ok(c) => c,
+                Err(payload) => JobCompletion::Panicked(panic_message(payload.as_ref())),
+            };
+            st = lock(&inner.state);
+            match completion.state() {
+                JobState::Done => st.done += 1,
+                JobState::Failed => st.failed += 1,
+                JobState::TimedOut => st.timed_out += 1,
+                JobState::Queued | JobState::Running => unreachable!("non-terminal completion"),
+            }
+            st.records.insert(id, Record::Finished(completion));
+            st.busy -= 1;
+            inner.done_cv.notify_all();
+        } else if !st.accepting {
+            return;
+        } else {
+            st = inner.work_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_complete_in_any_submission_order() {
+        let sched: Scheduler<u64> = Scheduler::new(4, 64);
+        let ids: Vec<JobId> = (0..16u64)
+            .map(|i| {
+                sched
+                    .submit(Box::new(move || JobCompletion::Done(i * i)))
+                    .expect("submit")
+            })
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(sched.wait(*id), Some(JobState::Done));
+            match sched.completion(*id) {
+                Some(JobCompletion::Done(x)) => assert_eq!(x, (i * i) as u64),
+                other => panic!("job {id}: unexpected completion {other:?}"),
+            }
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.done, 16);
+        assert_eq!(stats.submitted, 16);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow() {
+        let sched: Scheduler<()> = Scheduler::new(1, 2);
+        let gate = Arc::new(AtomicUsize::new(0));
+        // One job occupies the worker; two fill the queue.
+        let g = Arc::clone(&gate);
+        let blocker = sched
+            .submit(Box::new(move || {
+                while g.load(Ordering::SeqCst) == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                JobCompletion::Done(())
+            }))
+            .expect("blocker");
+        // Wait until the blocker actually occupies the worker, then fill
+        // the queue to its cap of 2.
+        while sched.state(blocker) != Some(JobState::Running) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for _ in 0..2 {
+            sched.submit(Box::new(|| JobCompletion::Done(()))).expect("fills queue");
+        }
+        assert_eq!(
+            sched.submit(Box::new(|| JobCompletion::Done(()))),
+            Err(SubmitError::QueueFull { cap: 2 })
+        );
+        gate.store(1, Ordering::SeqCst);
+        sched.shutdown();
+        assert_eq!(sched.stats().done, 3);
+    }
+
+    #[test]
+    fn drain_finishes_queued_work_and_rejects_new() {
+        let sched: Scheduler<u32> = Scheduler::new(2, 32);
+        let ids: Vec<JobId> = (0..8)
+            .map(|i| sched.submit(Box::new(move || JobCompletion::Done(i))).expect("submit"))
+            .collect();
+        sched.drain();
+        for id in ids {
+            assert_eq!(sched.state(id), Some(JobState::Done));
+        }
+        assert_eq!(
+            sched.submit(Box::new(|| JobCompletion::Done(0))),
+            Err(SubmitError::ShuttingDown)
+        );
+        sched.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_fails_without_killing_the_pool() {
+        let sched: Scheduler<()> = Scheduler::new(1, 8);
+        let bad = sched
+            .submit(Box::new(|| panic!("job exploded")))
+            .expect("submit");
+        let good = sched
+            .submit(Box::new(|| JobCompletion::Done(())))
+            .expect("submit");
+        assert_eq!(sched.wait(bad), Some(JobState::Failed));
+        match sched.completion(bad) {
+            Some(JobCompletion::Panicked(msg)) => assert!(msg.contains("exploded")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The same (sole) worker still runs the next job.
+        assert_eq!(sched.wait(good), Some(JobState::Done));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn states_and_errors_have_wire_names() {
+        assert_eq!(JobState::TimedOut.name(), "timed_out");
+        assert_eq!(JobState::Queued.to_string(), "queued");
+        assert!(JobState::Done.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(SubmitError::QueueFull { cap: 3 }.to_string().contains("3"));
+        let c: JobCompletion<u8> = JobCompletion::TimedOut(7);
+        assert_eq!(c.state(), JobState::TimedOut);
+        assert_eq!(c.output(), Some(&7));
+        let f: JobCompletion<u8> = JobCompletion::Failed(PipelineError::ZeroBudget);
+        assert_eq!(f.state(), JobState::Failed);
+        assert_eq!(f.output(), None);
+        assert_eq!(sched_unknown_id(), (None, None));
+    }
+
+    fn sched_unknown_id() -> (Option<JobState>, Option<JobState>) {
+        let sched: Scheduler<()> = Scheduler::new(1, 1);
+        let r = (sched.state(999), sched.wait(999));
+        sched.shutdown();
+        r
+    }
+}

@@ -1,0 +1,279 @@
+//! The TCP front end: accept loop, per-connection handlers, dispatch.
+//!
+//! Connections speak the newline-delimited JSON protocol of
+//! [`proto`](crate::proto). Each accepted connection gets its own handler
+//! thread; handlers share the scheduler, the artifact cache, and the
+//! stage histograms through [`Arc`]s. Reads carry a short timeout so
+//! handler threads notice a daemon shutdown promptly instead of blocking
+//! forever on an idle client, which keeps the final join bounded.
+//!
+//! Shutdown ("graceful drain"): the `shutdown` command flips a flag,
+//! answers the client, and pokes the accept loop with a loopback
+//! connection. The accept loop exits, the scheduler drains (queued and
+//! running jobs finish), handler threads wind down, and
+//! [`Server::run`] returns.
+
+use crate::cache::ArtifactCache;
+use crate::json::Json;
+use crate::proto::{error_response, ok_response, parse_request, result_json, Request};
+use crate::scheduler::{JobCompletion, Scheduler, SubmitError};
+use crate::service::{run_job, JobOutput, StageHists};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How the daemon is set up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 binds an ephemeral port (the bound address
+    /// is reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker-pool size (0 means one worker per available core).
+    pub workers: usize,
+    /// Bounded job-queue capacity.
+    pub queue_cap: usize,
+    /// Artifact-cache directory (created lazily on first store).
+    pub cache_dir: PathBuf,
+    /// Maximum artifact-cache entries before eviction.
+    pub cache_max_entries: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_cap: 256,
+            cache_dir: PathBuf::from("preexec-cache"),
+            cache_max_entries: 256,
+        }
+    }
+}
+
+/// Shared service state, one instance per daemon.
+struct Shared {
+    sched: Scheduler<JobOutput>,
+    cache: ArtifactCache,
+    hists: StageHists,
+    shutting_down: AtomicBool,
+    local_addr: SocketAddr,
+    queue_cap: usize,
+}
+
+/// A bound (but not yet serving) daemon.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bad address, port in use, ...).
+    pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            sched: Scheduler::new(workers, config.queue_cap),
+            cache: ArtifactCache::new(&config.cache_dir, config.cache_max_entries),
+            hists: StageHists::new(),
+            shutting_down: AtomicBool::new(false),
+            local_addr,
+            queue_cap: config.queue_cap,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Serves until a `shutdown` command arrives, then drains the
+    /// scheduler and joins every handler. Blocks the calling thread for
+    /// the daemon's whole life.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop socket errors (per-connection I/O errors
+    /// only end that connection).
+    pub fn run(self) -> std::io::Result<()> {
+        let mut handlers = Vec::new();
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                // The poke connection (or a late client): stop accepting.
+                break;
+            }
+            let shared = Arc::clone(&self.shared);
+            handlers.push(std::thread::spawn(move || handle_connection(stream, &shared)));
+        }
+        // Graceful drain: finish queued + running jobs, then collect the
+        // handler threads (their read timeout notices the flag).
+        self.shared.sched.shutdown();
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection until EOF, error, or daemon shutdown.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // A short read timeout keeps this thread responsive to shutdown; a
+    // longer one would only delay the final join.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let response = dispatch(trimmed, shared);
+                    let mut encoded = response.encode();
+                    encoded.push('\n');
+                    if writer.write_all(encoded.as_bytes()).is_err() || writer.flush().is_err() {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // `read_line` keeps any partial line it already buffered
+                // in `line`; the next iteration finishes it.
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Executes one request line and builds the response.
+fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
+    match parse_request(line) {
+        Err(message) => error_response(&message),
+        Ok(Request::Submit(spec)) => {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return error_response(&SubmitError::ShuttingDown.to_string());
+            }
+            // The worker may outlive this connection; the closure keeps
+            // the cache and histograms alive through its own Arc.
+            let job_shared = Arc::clone(shared);
+            let submitted = shared.sched.submit(Box::new(move || {
+                run_job(&spec, &job_shared.cache, &job_shared.hists)
+            }));
+            match submitted {
+                Ok(id) => ok_response(vec![("job", Json::num_u64(id))]),
+                Err(e) => error_response(&e.to_string()),
+            }
+        }
+        Ok(Request::Status(id)) => match shared.sched.state(id) {
+            None => error_response(&format!("unknown job {id}")),
+            Some(state) => {
+                let mut fields = vec![
+                    ("job", Json::num_u64(id)),
+                    ("state", Json::str(state.name())),
+                ];
+                if let Some(JobCompletion::Failed(e)) = shared.sched.completion(id) {
+                    fields.push(("error", Json::str(e.to_string())));
+                } else if let Some(JobCompletion::Panicked(msg)) = shared.sched.completion(id) {
+                    fields.push(("error", Json::str(msg)));
+                }
+                ok_response(fields)
+            }
+        },
+        Ok(Request::Result(id)) => match shared.sched.completion(id) {
+            None => match shared.sched.state(id) {
+                None => error_response(&format!("unknown job {id}")),
+                Some(state) => error_response(&format!(
+                    "job {id} is {} — poll `status` until it finishes",
+                    state.name()
+                )),
+            },
+            Some(completion) => {
+                let state = completion.state();
+                match completion {
+                    JobCompletion::Done(out) | JobCompletion::TimedOut(out) => {
+                        ok_response(vec![
+                            ("job", Json::num_u64(id)),
+                            ("state", Json::str(state.name())),
+                            ("result", result_json(&out)),
+                        ])
+                    }
+                    JobCompletion::Failed(e) => ok_response(vec![
+                        ("job", Json::num_u64(id)),
+                        ("state", Json::str(state.name())),
+                        ("error", Json::str(e.to_string())),
+                    ]),
+                    JobCompletion::Panicked(msg) => ok_response(vec![
+                        ("job", Json::num_u64(id)),
+                        ("state", Json::str(state.name())),
+                        ("error", Json::str(msg)),
+                    ]),
+                }
+            }
+        },
+        Ok(Request::Stats) => stats_response(shared),
+        Ok(Request::Shutdown) => {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so `run` can proceed to the drain.
+            let _ = TcpStream::connect(shared.local_addr);
+            ok_response(vec![("shutting_down", Json::Bool(true))])
+        }
+    }
+}
+
+fn stats_response(shared: &Shared) -> Json {
+    let sched = shared.sched.stats();
+    let cache = shared.cache.stats();
+    ok_response(vec![
+        ("queue_depth", Json::num_u64(sched.queued as u64)),
+        ("queue_cap", Json::num_u64(shared.queue_cap as u64)),
+        ("workers", Json::num_u64(sched.workers as u64)),
+        ("busy_workers", Json::num_u64(sched.running as u64)),
+        ("utilization", Json::Num(sched.utilization())),
+        (
+            "jobs",
+            Json::obj(vec![
+                ("submitted", Json::num_u64(sched.submitted)),
+                ("queued", Json::num_u64(sched.queued as u64)),
+                ("running", Json::num_u64(sched.running as u64)),
+                ("done", Json::num_u64(sched.done)),
+                ("failed", Json::num_u64(sched.failed)),
+                ("timed_out", Json::num_u64(sched.timed_out)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hits", Json::num_u64(cache.hits)),
+                ("misses", Json::num_u64(cache.misses)),
+                ("evictions", Json::num_u64(cache.evictions)),
+                ("corrupt", Json::num_u64(cache.corrupt)),
+                ("hit_rate", Json::Num(cache.hit_rate())),
+            ]),
+        ),
+        ("stage_latency_us", shared.hists.to_json()),
+    ])
+}

@@ -1,0 +1,352 @@
+//! Job execution: one batch-analysis job through the staged pipeline,
+//! with artifact-cache reuse and per-stage latency accounting.
+//!
+//! A job is (workload, input, [`PipelineConfig`]). Execution runs the
+//! four stages separately — exactly the split
+//! [`preexec_experiments::pipeline`] exposes — so the expensive
+//! trace+slice stage can be served from the [`ArtifactCache`] and each
+//! stage's wall-clock latency lands in its own [`Histogram`]:
+//!
+//! 1. **trace+slice** (cacheable): keyed by everything it depends on;
+//! 2. **base sim**: machine-dependent, always runs;
+//! 3. **selection**: model-parameter-dependent, always runs (cheap);
+//! 4. **assisted sim**: depends on the selection, always runs.
+//!
+//! A cache hit therefore re-runs only selection and the two timing sims,
+//! which is the whole point of serving many `MachineParams` variations
+//! against one trace.
+
+use crate::cache::{ArtifactCache, TraceKey};
+use crate::histogram::Histogram;
+use crate::scheduler::JobCompletion;
+use preexec_experiments::pipeline::{try_base_sim, try_select, try_sim};
+use preexec_experiments::{try_trace_and_slice_warm, PipelineConfig, PipelineResult};
+use preexec_timing::SimMode;
+use preexec_workloads::{by_name, InputSet, Workload};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A fully-resolved job: what to run and under which configuration.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Suite name of the workload (resolved — guaranteed to exist).
+    pub workload_name: String,
+    /// The resolved workload builder.
+    pub workload: Workload,
+    /// Input set to build the workload with.
+    pub input: InputSet,
+    /// Full pipeline configuration (machine, model, budgets).
+    pub cfg: PipelineConfig,
+}
+
+impl JobSpec {
+    /// Resolves `workload_name` against the suite registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sorted list of valid names when the workload is
+    /// unknown.
+    pub fn new(
+        workload_name: &str,
+        input: InputSet,
+        cfg: PipelineConfig,
+    ) -> Result<JobSpec, String> {
+        match by_name(workload_name) {
+            Some(workload) => Ok(JobSpec {
+                workload_name: workload_name.to_string(),
+                workload,
+                input,
+                cfg,
+            }),
+            None => {
+                let names: Vec<&str> =
+                    preexec_workloads::suite().iter().map(|w| w.name).collect();
+                Err(format!(
+                    "unknown workload `{workload_name}`; available: {}",
+                    names.join(", ")
+                ))
+            }
+        }
+    }
+
+    /// The artifact-cache key of this job's trace stage.
+    pub fn trace_key(&self) -> TraceKey {
+        TraceKey {
+            workload: self.workload_name.clone(),
+            input: self.input,
+            scope: self.cfg.scope,
+            max_slice_len: self.cfg.max_slice_len,
+            budget: self.cfg.budget,
+            warmup: self.cfg.warmup,
+        }
+    }
+}
+
+/// Wall-clock microseconds spent in each stage of one job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageMicros {
+    /// Trace+slice (0 on a cache hit).
+    pub trace: u64,
+    /// Unassisted timing run.
+    pub base_sim: u64,
+    /// P-thread selection.
+    pub select: u64,
+    /// Assisted timing run.
+    pub assisted_sim: u64,
+}
+
+/// The service-wide per-stage latency histograms. Workers record through
+/// a mutex per stage; recording is a handful of integer ops, so
+/// contention is negligible next to stage runtimes.
+#[derive(Debug, Default)]
+pub struct StageHists {
+    trace: Mutex<Histogram>,
+    base_sim: Mutex<Histogram>,
+    select: Mutex<Histogram>,
+    assisted_sim: Mutex<Histogram>,
+}
+
+/// Recovers from mutex poisoning: a histogram is always internally
+/// consistent (plain counters), so the data stays usable.
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl StageHists {
+    /// Fresh, empty histograms.
+    pub fn new() -> StageHists {
+        StageHists::default()
+    }
+
+    /// Records one job's stage timings (a cache hit contributes no trace
+    /// sample — it would drag the trace histogram toward zero and hide
+    /// the real cost of tracing).
+    pub fn record(&self, us: &StageMicros, cache_hit: bool) {
+        if !cache_hit {
+            locked(&self.trace).record_us(us.trace);
+        }
+        locked(&self.base_sim).record_us(us.base_sim);
+        locked(&self.select).record_us(us.select);
+        locked(&self.assisted_sim).record_us(us.assisted_sim);
+    }
+
+    /// Serializes all four histograms keyed by stage name.
+    pub fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::obj(vec![
+            ("trace", locked(&self.trace).to_json()),
+            ("base_sim", locked(&self.base_sim).to_json()),
+            ("select", locked(&self.select).to_json()),
+            ("assisted_sim", locked(&self.assisted_sim).to_json()),
+        ])
+    }
+}
+
+/// Everything a finished job reports.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The workload that ran.
+    pub workload: String,
+    /// The input set it was built with.
+    pub input: InputSet,
+    /// The full pipeline result.
+    pub result: PipelineResult,
+    /// Whether the trace stage was served from the artifact cache.
+    pub cache_hit: bool,
+    /// Per-stage wall-clock times.
+    pub stage_us: StageMicros,
+}
+
+/// Runs one job to completion: trace (or cache hit), base sim, select,
+/// assisted sim. Never panics on pipeline faults — they become
+/// [`JobCompletion::Failed`]; watchdog-truncated timing runs become
+/// [`JobCompletion::TimedOut`] with the (valid) result attached.
+///
+/// Note: a trace cut by its instruction budget (`RunStats::timed_out`) is
+/// the *normal* sampling mode, not a job timeout — only the timing sims'
+/// `max_cycles` watchdog marks a job `TimedOut`.
+pub fn run_job(
+    spec: &JobSpec,
+    cache: &ArtifactCache,
+    hists: &StageHists,
+) -> JobCompletion<JobOutput> {
+    if let Err(e) = spec.cfg.try_validate() {
+        return JobCompletion::Failed(e);
+    }
+    let program = spec.workload.build(spec.input);
+    let cfg = &spec.cfg;
+    let mut stage_us = StageMicros::default();
+
+    let key = spec.trace_key();
+    let t = Instant::now();
+    let (forest, stats, cache_hit) = match cache.load(&key) {
+        Some((forest, stats)) => (forest, stats, true),
+        None => {
+            match try_trace_and_slice_warm(
+                &program,
+                cfg.scope,
+                cfg.max_slice_len,
+                cfg.budget,
+                cfg.warmup,
+            ) {
+                Ok((forest, stats)) => {
+                    // A failed store only costs a future recompute.
+                    let _ = cache.store(&key, &forest, &stats);
+                    (forest, stats, false)
+                }
+                Err(e) => return JobCompletion::Failed(e),
+            }
+        }
+    };
+    if !cache_hit {
+        stage_us.trace = elapsed_us(t);
+    }
+
+    let t = Instant::now();
+    let base = match try_base_sim(&program, cfg) {
+        Ok(r) => r,
+        Err(e) => return JobCompletion::Failed(e),
+    };
+    stage_us.base_sim = elapsed_us(t);
+
+    let t = Instant::now();
+    let selection = match try_select(&forest, cfg, base.ipc()) {
+        Ok(s) => s,
+        Err(e) => return JobCompletion::Failed(e),
+    };
+    stage_us.select = elapsed_us(t);
+
+    let t = Instant::now();
+    let assisted = match try_sim(&program, &selection.pthreads, cfg, SimMode::Normal) {
+        Ok(r) => r,
+        Err(e) => return JobCompletion::Failed(e),
+    };
+    stage_us.assisted_sim = elapsed_us(t);
+
+    hists.record(&stage_us, cache_hit);
+    let timed_out = base.timed_out || assisted.timed_out;
+    let output = JobOutput {
+        workload: spec.workload_name.clone(),
+        input: spec.input,
+        result: PipelineResult { stats, base, selection, assisted },
+        cache_hit,
+        stage_us,
+    };
+    if timed_out {
+        JobCompletion::TimedOut(output)
+    } else {
+        JobCompletion::Done(output)
+    }
+}
+
+fn elapsed_us(t: Instant) -> u64 {
+    t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_experiments::try_run_pipeline;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("preexec-serve-service-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn job_spec_rejects_unknown_workloads() {
+        let cfg = PipelineConfig::paper_default(10_000);
+        let e = JobSpec::new("no-such", InputSet::Train, cfg).unwrap_err();
+        assert!(e.contains("no-such") && e.contains("vpr.r"), "{e}");
+        assert!(JobSpec::new("mcf", InputSet::Test, cfg).is_ok());
+    }
+
+    #[test]
+    fn second_run_hits_the_cache_and_matches_the_first_and_a_direct_run() {
+        let dir = tmp_dir("hit");
+        let cache = ArtifactCache::new(&dir, 8);
+        let hists = StageHists::new();
+        let cfg = PipelineConfig::paper_default(60_000);
+        let spec = JobSpec::new("vpr.r", InputSet::Train, cfg).expect("spec");
+
+        let first = match run_job(&spec, &cache, &hists) {
+            JobCompletion::Done(out) => out,
+            other => panic!("first run: {:?}", other.state()),
+        };
+        assert!(!first.cache_hit);
+        let second = match run_job(&spec, &cache, &hists) {
+            JobCompletion::Done(out) => out,
+            other => panic!("second run: {:?}", other.state()),
+        };
+        assert!(second.cache_hit, "identical resubmit must hit the cache");
+        assert_eq!(second.stage_us.trace, 0, "hit performs no trace work");
+
+        let direct =
+            try_run_pipeline(&spec.workload.build(spec.input), &cfg).expect("direct run");
+        for r in [&first.result, &second.result] {
+            assert_eq!(r.base.cycles, direct.base.cycles);
+            assert_eq!(r.base.insts, direct.base.insts);
+            assert_eq!(r.assisted.cycles, direct.assisted.cycles);
+            assert_eq!(r.selection.pthreads.len(), direct.selection.pthreads.len());
+            assert_eq!(r.stats.insts, direct.stats.insts);
+            assert_eq!(r.stats.l2_misses, direct.stats.l2_misses);
+        }
+        assert_eq!(cache.stats().hits, 1);
+        // Trace histogram has exactly one sample: the hit recorded none.
+        let hists_json = hists.to_json();
+        let trace_count = hists_json
+            .get("trace")
+            .and_then(|h| h.get("count"))
+            .and_then(crate::json::Json::as_u64);
+        assert_eq!(trace_count, Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entry_recomputes_instead_of_failing() {
+        let dir = tmp_dir("corrupt");
+        let cache = ArtifactCache::new(&dir, 8);
+        let hists = StageHists::new();
+        let cfg = PipelineConfig::paper_default(40_000);
+        let spec = JobSpec::new("gap", InputSet::Train, cfg).expect("spec");
+        let first = match run_job(&spec, &cache, &hists) {
+            JobCompletion::Done(out) => out,
+            other => panic!("first run: {:?}", other.state()),
+        };
+        // Mangle the cached forest.
+        let slices = std::fs::read_dir(&dir)
+            .expect("dir")
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "slices"))
+            .expect("cached slices file");
+        std::fs::write(&slices, "preexec-slices version=2 checksum=0000000000000000\ngarbage\n")
+            .expect("corrupt");
+        let again = match run_job(&spec, &cache, &hists) {
+            JobCompletion::Done(out) => out,
+            other => panic!("rerun after corruption: {:?}", other.state()),
+        };
+        assert!(!again.cache_hit, "corrupt entry must recompute");
+        assert_eq!(again.result.base.cycles, first.result.base.cycles);
+        assert_eq!(cache.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_config_fails_with_the_typed_error() {
+        let dir = tmp_dir("invalid");
+        let cache = ArtifactCache::new(&dir, 8);
+        let hists = StageHists::new();
+        let cfg = PipelineConfig { budget: 0, ..PipelineConfig::paper_default(1) };
+        let spec = JobSpec::new("mcf", InputSet::Train, cfg).expect("spec");
+        match run_job(&spec, &cache, &hists) {
+            JobCompletion::Failed(e) => {
+                assert_eq!(e, preexec_experiments::PipelineError::ZeroBudget);
+            }
+            other => panic!("unexpected {:?}", other.state()),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,231 @@
+//! End-to-end daemon test: spawn `preexecd` on an ephemeral port, drive
+//! it over TCP with the newline-delimited JSON protocol, and check that
+//! served results are bit-identical to a direct in-process pipeline run.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use preexec_experiments::{try_run_pipeline, PipelineConfig};
+use preexec_serve::Json;
+use preexec_workloads::{by_name, InputSet};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BUDGET: u64 = 60_000;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    cache_dir: std::path::PathBuf,
+}
+
+impl Daemon {
+    fn spawn() -> Daemon {
+        let cache_dir = std::env::temp_dir()
+            .join(format!("preexec-daemon-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let mut child = Command::new(env!("CARGO_BIN_EXE_preexecd"))
+            .args([
+                "--port",
+                "0",
+                "--workers",
+                "2",
+                "--cache-dir",
+                cache_dir.to_str().expect("utf-8 temp dir"),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawning preexecd");
+        // The daemon announces its (ephemeral) address on stdout.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut first_line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut first_line)
+            .expect("reading the announce line");
+        let addr = first_line
+            .trim()
+            .strip_prefix("preexecd listening on ")
+            .unwrap_or_else(|| panic!("unexpected announce line: {first_line:?}"))
+            .to_string();
+        Daemon { child, addr, cache_dir }
+    }
+
+    fn connect(&self) -> Conn {
+        let stream = TcpStream::connect(&self.addr).expect("connecting to preexecd");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Conn { stream, reader }
+    }
+
+    /// Waits (bounded) for the daemon process to exit after `shutdown`.
+    fn wait_for_exit(mut self) {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(status.success(), "preexecd exited with {status}");
+                    break;
+                }
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("preexecd did not exit within 60s of shutdown");
+                }
+                None => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&self.cache_dir);
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    /// One request/response exchange; panics on protocol-level errors.
+    fn roundtrip(&mut self, request: &str) -> Json {
+        self.stream
+            .write_all(format!("{request}\n").as_bytes())
+            .expect("send");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        Json::parse(line.trim()).expect("response parses")
+    }
+
+    fn ok(&mut self, request: &str) -> Json {
+        let resp = self.roundtrip(request);
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request `{request}` failed: {}",
+            resp.encode()
+        );
+        resp
+    }
+
+    fn submit(&mut self, workload: &str) -> u64 {
+        let resp = self.ok(&format!(
+            r#"{{"cmd":"submit","workload":"{workload}","budget":{BUDGET}}}"#
+        ));
+        resp.get("job").and_then(Json::as_u64).expect("job id")
+    }
+
+    /// Polls `status` until the job reaches a terminal state.
+    fn wait_done(&mut self, job: u64) {
+        let deadline = Instant::now() + Duration::from_secs(300);
+        loop {
+            let resp = self.ok(&format!(r#"{{"cmd":"status","job":{job}}}"#));
+            let state = resp.get("state").and_then(Json::as_str).expect("state");
+            match state {
+                "done" => return,
+                "queued" | "running" => {
+                    assert!(Instant::now() < deadline, "job {job} stuck in {state}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                other => panic!("job {job} ended {other}: {}", resp.encode()),
+            }
+        }
+    }
+
+    fn result(&mut self, job: u64) -> Json {
+        let resp = self.ok(&format!(r#"{{"cmd":"result","job":{job}}}"#));
+        resp.get("result").cloned().expect("result payload")
+    }
+}
+
+fn u64_field(json: &Json, path: &[&str]) -> u64 {
+    let mut cur = json.clone();
+    for key in path {
+        cur = cur.get(key).cloned().unwrap_or_else(|| {
+            panic!("missing `{}` in {}", path.join("."), json.encode())
+        });
+    }
+    cur.as_u64()
+        .unwrap_or_else(|| panic!("`{}` not a u64 in {}", path.join("."), json.encode()))
+}
+
+#[test]
+fn daemon_serves_jobs_caches_repeats_and_shuts_down() {
+    let daemon = Daemon::spawn();
+    let mut conn = daemon.connect();
+
+    // Malformed input gets an error envelope, not a dropped connection.
+    let bad = conn.roundtrip(r#"{"cmd":"submit"}"#);
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(bad.get("error").and_then(Json::as_str).is_some());
+
+    // Two different jobs run concurrently on the 2-worker pool.
+    let job_vpr = conn.submit("vpr.r");
+    let job_mcf = conn.submit("mcf");
+    assert_ne!(job_vpr, job_mcf);
+    conn.wait_done(job_vpr);
+    conn.wait_done(job_mcf);
+
+    // Served results match a direct in-process pipeline run exactly.
+    let cfg = PipelineConfig::paper_default(BUDGET);
+    for (job, name) in [(job_vpr, "vpr.r"), (job_mcf, "mcf")] {
+        let served = conn.result(job);
+        let workload = by_name(name).expect("suite workload");
+        let direct =
+            try_run_pipeline(&workload.build(InputSet::Train), &cfg).expect("direct run");
+        assert_eq!(
+            served.get("workload").and_then(Json::as_str),
+            Some(name),
+            "{}",
+            served.encode()
+        );
+        assert_eq!(served.get("cache_hit").and_then(Json::as_bool), Some(false));
+        assert_eq!(u64_field(&served, &["base", "cycles"]), direct.base.cycles);
+        assert_eq!(u64_field(&served, &["base", "insts"]), direct.base.insts);
+        assert_eq!(
+            u64_field(&served, &["assisted", "cycles"]),
+            direct.assisted.cycles
+        );
+        assert_eq!(
+            u64_field(&served, &["num_pthreads"]),
+            direct.selection.pthreads.len() as u64
+        );
+        assert_eq!(u64_field(&served, &["trace", "insts"]), direct.stats.insts);
+        assert_eq!(
+            u64_field(&served, &["trace", "l2_misses"]),
+            direct.stats.l2_misses
+        );
+    }
+
+    // An identical resubmit is served from the artifact cache — same
+    // numbers, no re-trace.
+    let again = conn.submit("vpr.r");
+    conn.wait_done(again);
+    let served = conn.result(again);
+    assert_eq!(served.get("cache_hit").and_then(Json::as_bool), Some(true));
+    let workload = by_name("vpr.r").expect("suite workload");
+    let direct = try_run_pipeline(&workload.build(InputSet::Train), &cfg).expect("direct");
+    assert_eq!(u64_field(&served, &["assisted", "cycles"]), direct.assisted.cycles);
+    assert_eq!(u64_field(&served, &["stage_us", "trace"]), 0);
+
+    // Service stats reflect the work: three done jobs, one cache hit.
+    let stats = conn.ok(r#"{"cmd":"stats"}"#);
+    assert_eq!(u64_field(&stats, &["jobs", "done"]), 3);
+    assert_eq!(u64_field(&stats, &["jobs", "failed"]), 0);
+    assert_eq!(u64_field(&stats, &["cache", "hits"]), 1);
+    assert_eq!(u64_field(&stats, &["cache", "misses"]), 2);
+    assert!(
+        stats.get("stage_latency_us").and_then(|h| h.get("base_sim")).is_some(),
+        "{}",
+        stats.encode()
+    );
+
+    // A status poll from a second connection sees the same scheduler.
+    let mut conn2 = daemon.connect();
+    let resp = conn2.ok(&format!(r#"{{"cmd":"status","job":{job_vpr}}}"#));
+    assert_eq!(resp.get("state").and_then(Json::as_str), Some("done"));
+
+    // Shutdown drains and the process exits cleanly.
+    let resp = conn.ok(r#"{"cmd":"shutdown"}"#);
+    assert_eq!(resp.get("shutting_down").and_then(Json::as_bool), Some(true));
+    drop(conn);
+    drop(conn2);
+    daemon.wait_for_exit();
+}

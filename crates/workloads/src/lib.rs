@@ -44,4 +44,4 @@ pub mod suite;
 pub(crate) mod util;
 
 pub use inputs::InputSet;
-pub use suite::{suite, Workload};
+pub use suite::{by_name, suite, Workload};

@@ -15,7 +15,9 @@
 //!   pre-execution support (§4.1);
 //! - [`workloads`] — ten synthetic SPEC2000int-like kernels (Table 1);
 //! - [`experiments`] — the harness that regenerates every table and
-//!   figure of the paper's evaluation.
+//!   figure of the paper's evaluation;
+//! - [`serve`] — the batch analysis service: a parallel job scheduler,
+//!   a content-addressed artifact cache, and the `preexecd` daemon.
 //!
 //! # Quickstart
 //!
@@ -66,6 +68,7 @@ pub use preexec_experiments as experiments;
 pub use preexec_func as func;
 pub use preexec_isa as isa;
 pub use preexec_mem as mem;
+pub use preexec_serve as serve;
 pub use preexec_slice as slice;
 pub use preexec_timing as timing;
 pub use preexec_workloads as workloads;
