@@ -1,0 +1,230 @@
+//! `pipeline-bench` — end-to-end pipeline benchmark with per-stage
+//! wall-clock, serial versus N-thread.
+//!
+//! Runs one workload through trace+slice, base sim, and selection twice
+//! — once with `Parallelism::serial()`, once with `--threads N` — and
+//! emits `BENCH_pipeline.json` with per-stage timings plus the
+//! parallel stages' internal [`ParStats`] counters. The two runs are
+//! also compared for bit-identity, so every benchmark run doubles as a
+//! determinism check (DESIGN.md §11).
+//!
+//! Usage: `pipeline-bench [--workload NAME] [--budget B] [--threads N]
+//!         [--out PATH]`
+//!
+//! Defaults: `vpr.r`, 60 000 instructions, one thread per core,
+//! `BENCH_pipeline.json`. Exit codes: 0 success, 2 usage error, 1
+//! pipeline or I/O failure (including a serial/parallel mismatch, which
+//! would mean a determinism bug).
+
+use preexec_bench::build;
+use preexec_experiments::{
+    try_base_sim, try_select_par, try_trace_and_slice_warm_par, ParStats, Parallelism,
+    PipelineConfig,
+};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    workload: String,
+    budget: u64,
+    threads: usize,
+    out: String,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        workload: "vpr.r".to_string(),
+        budget: 60_000,
+        threads: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get),
+        out: "BENCH_pipeline.json".to_string(),
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--workload" => args.workload = value("--workload")?,
+            "--budget" => {
+                let v = value("--budget")?;
+                args.budget = v.parse().map_err(|_| format!("bad budget `{v}`"))?;
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                args.threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad thread count `{v}`"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// One timed stage pair: serial and parallel wall-clock microseconds.
+struct StagePair {
+    serial_us: u128,
+    par_us: u128,
+    par_stats: ParStats,
+}
+
+impl StagePair {
+    fn speedup(&self) -> f64 {
+        if self.par_us == 0 {
+            1.0
+        } else {
+            self.serial_us as f64 / self.par_us as f64
+        }
+    }
+}
+
+fn par_stats_json(out: &mut String, s: &ParStats) {
+    let _ = write!(
+        out,
+        r#"{{"wall_us":{},"busy_us":{},"threads":{},"items":{},"speedup":{:.3}}}"#,
+        s.wall_us,
+        s.busy_us,
+        s.threads,
+        s.items,
+        s.speedup()
+    );
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let program = build(&args.workload);
+    let cfg = PipelineConfig::paper_default(args.budget);
+    let par = Parallelism::new(args.threads);
+
+    // Trace + slice, serial then parallel. The trace itself is inherently
+    // serial (it is one dependent instruction stream); the tree
+    // construction behind it is the parallel part, and ParStats covers
+    // exactly that fan-out.
+    let t = Instant::now();
+    let (f_serial, stats, _) = try_trace_and_slice_warm_par(
+        &program,
+        cfg.scope,
+        cfg.max_slice_len,
+        cfg.budget,
+        cfg.warmup,
+        Parallelism::serial(),
+    )
+    .map_err(|e| format!("serial trace: {e}"))?;
+    let slice_serial_us = t.elapsed().as_micros();
+    let t = Instant::now();
+    let (f_par, _, slice_stats) = try_trace_and_slice_warm_par(
+        &program,
+        cfg.scope,
+        cfg.max_slice_len,
+        cfg.budget,
+        cfg.warmup,
+        par,
+    )
+    .map_err(|e| format!("parallel trace: {e}"))?;
+    let slice = StagePair {
+        serial_us: slice_serial_us,
+        par_us: t.elapsed().as_micros(),
+        par_stats: slice_stats,
+    };
+    if preexec_slice::write_forest(&f_serial) != preexec_slice::write_forest(&f_par) {
+        return Err(format!(
+            "slice forests differ between --threads 1 and --threads {}",
+            args.threads
+        ));
+    }
+
+    // Base sim: always serial (cycle-accurate state machine); timed so
+    // the report shows the full pipeline's stage balance.
+    let t = Instant::now();
+    let base = try_base_sim(&program, &cfg).map_err(|e| format!("base sim: {e}"))?;
+    let base_us = t.elapsed().as_micros();
+
+    // Selection (scoring + per-tree fixed points), serial then parallel.
+    let t = Instant::now();
+    let (sel_serial, _) = try_select_par(&f_serial, &cfg, base.ipc(), Parallelism::serial())
+        .map_err(|e| format!("serial select: {e}"))?;
+    let select_serial_us = t.elapsed().as_micros();
+    let t = Instant::now();
+    let (sel_par, select_stats) = try_select_par(&f_par, &cfg, base.ipc(), par)
+        .map_err(|e| format!("parallel select: {e}"))?;
+    let select = StagePair {
+        serial_us: select_serial_us,
+        par_us: t.elapsed().as_micros(),
+        par_stats: select_stats,
+    };
+    if format!("{sel_serial:?}") != format!("{sel_par:?}") {
+        return Err(format!(
+            "selections differ between --threads 1 and --threads {}",
+            args.threads
+        ));
+    }
+
+    // The acceptance metric: combined wall-clock of the two
+    // parallelizable stages, serial over parallel.
+    let combined = (slice.serial_us + select.serial_us) as f64
+        / (slice.par_us + select.par_us).max(1) as f64;
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        r#"{{"workload":"{}","budget":{},"threads":{},"trace":{{"insts":{},"l2_misses":{},"trees":{}}},"stages_us":{{"trace_slice_serial":{},"trace_slice_par":{},"base_sim":{},"select_serial":{},"select_par":{}}},"slice_stage":"#,
+        args.workload,
+        args.budget,
+        args.threads,
+        stats.insts,
+        stats.l2_misses,
+        f_serial.num_trees(),
+        slice.serial_us,
+        slice.par_us,
+        base_us,
+        select.serial_us,
+        select.par_us,
+    );
+    par_stats_json(&mut json, &slice.par_stats);
+    json.push_str(r#","select_stage":"#);
+    par_stats_json(&mut json, &select.par_stats);
+    let _ = write!(
+        json,
+        r#","speedup":{{"trace_slice":{:.3},"select":{:.3},"slice_score_combined":{:.3}}},"pthreads":{}}}"#,
+        slice.speedup(),
+        select.speedup(),
+        combined,
+        sel_serial.pthreads.len(),
+    );
+    json.push('\n');
+    std::fs::write(&args.out, &json).map_err(|e| format!("writing {}: {e}", args.out))?;
+
+    eprintln!(
+        "pipeline-bench: {} @ {} insts, {} threads: slice {:.2}x, select {:.2}x, combined {:.2}x -> {}",
+        args.workload,
+        args.budget,
+        args.threads,
+        slice.speedup(),
+        select.speedup(),
+        combined,
+        args.out
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("pipeline-bench: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pipeline-bench: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

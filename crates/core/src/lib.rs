@@ -55,6 +55,7 @@ pub mod candidate;
 pub mod error;
 pub mod merge;
 pub mod optimize;
+pub mod par;
 pub mod params;
 pub mod predict;
 pub mod pthread;
@@ -67,11 +68,14 @@ pub use candidate::candidate_body;
 pub use error::ParamsError;
 pub use merge::merge_pthreads;
 pub use optimize::optimize_body;
+pub use par::{ParStats, Parallelism};
 pub use params::SelectionParams;
 pub use predict::SelectionPrediction;
 pub use pthread::StaticPThread;
 pub use scdh::scdh;
-pub use select::{select_pthreads, solve_tree, Selection};
+pub use select::{
+    select_pthreads, select_pthreads_par, select_pthreads_stats, solve_tree, Selection,
+};
 
 #[cfg(test)]
 mod worked_example;

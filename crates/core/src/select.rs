@@ -2,6 +2,7 @@
 //! correction (§3.2), plus the forest-level driver.
 
 use crate::advantage::aggregate_advantage;
+use crate::par::{self, ParStats, Parallelism};
 use crate::{
     candidate_body, merge_pthreads, optimize_body, Advantage, Body, SelectionParams,
     SelectionPrediction, StaticPThread,
@@ -60,6 +61,26 @@ fn score_node(
     Some(ScoredCandidate { advantage, exec_body })
 }
 
+/// Scores every candidate node of `tree` into a dense table indexed by
+/// [`NodeId`] (`table[0]`, the root, is always `None` — the root is the
+/// problem load itself, not a trigger).
+///
+/// Every non-root node lies on some root-to-leaf path, so the fixed point
+/// in [`solve_tree_scored`] consults every entry; precomputing the whole
+/// table does the same work as on-demand memoization and is what lets
+/// scoring fan out in parallel (see [`select_pthreads_par`]).
+pub fn score_tree_nodes(
+    tree: &SliceTree,
+    dc_trig_of: &dyn Fn(Pc) -> u64,
+    params: &SelectionParams,
+) -> Vec<Option<ScoredCandidate>> {
+    let mut table: Vec<Option<ScoredCandidate>> = vec![None; tree.len()];
+    for (node, slot) in table.iter_mut().enumerate().skip(1) {
+        *slot = score_node(tree, node, dc_trig_of(tree.node(node).pc), params);
+    }
+    table
+}
+
 /// Solves one slice tree: selects the set of p-threads whose
 /// overlap-corrected aggregate advantages sum to a maximum, using the
 /// paper's iterative procedure — select the best candidate per leaf
@@ -73,15 +94,23 @@ pub fn solve_tree(
     dc_trig_of: &dyn Fn(Pc) -> u64,
     params: &SelectionParams,
 ) -> Vec<(NodeId, ScoredCandidate, f64)> {
-    // Memoized candidate scores.
-    let mut scores: HashMap<NodeId, Option<ScoredCandidate>> = HashMap::new();
-    let score = |node: NodeId, scores: &mut HashMap<NodeId, Option<ScoredCandidate>>| {
-        scores
-            .entry(node)
-            .or_insert_with(|| score_node(tree, node, dc_trig_of(tree.node(node).pc), params))
-            .clone()
-    };
+    solve_tree_scored(tree, &score_tree_nodes(tree, dc_trig_of, params))
+}
 
+/// The overlap-correction fixed point of [`solve_tree`], reading candidate
+/// scores from a precomputed table (as built by [`score_tree_nodes`]).
+///
+/// Winner picking is deterministic by construction: every comparison
+/// orders candidates by `(net advantage, node id)`, so equal-advantage
+/// ties always go to the larger node id. Node ids strictly increase with
+/// depth along any root-to-leaf path (children are created after their
+/// parents), so on a path this is exactly the "deeper candidate wins"
+/// rule — but stated as a total order that no iteration schedule or
+/// thread count can perturb.
+pub fn solve_tree_scored(
+    tree: &SliceTree,
+    scores: &[Option<ScoredCandidate>],
+) -> Vec<(NodeId, ScoredCandidate, f64)> {
     let leaves = tree.leaves();
     let mut reductions: HashMap<NodeId, f64> = HashMap::new();
     let mut selected: BTreeSet<NodeId> = BTreeSet::new();
@@ -92,15 +121,18 @@ pub fn solve_tree(
             let path = tree.path_from_root(leaf);
             let mut best: Option<(NodeId, f64)> = None;
             for &node in path.iter().skip(1) {
-                if let Some(sc) = score(node, &mut scores) {
+                if let Some(sc) = scores.get(node).and_then(Option::as_ref) {
                     let net = sc.advantage.adv_agg - reductions.get(&node).copied().unwrap_or(0.0);
-                    // Ties go to the deeper candidate: with optimization,
-                    // unrolled bodies often fold to the same size and both
-                    // saturate LT at L_cm, and the deeper trigger buys
-                    // lookahead slack at no modeled cost (cf. the paper's
-                    // observation that over-specifying latency compensates
-                    // for unmodeled bus contention).
-                    if net > 0.0 && best.is_none_or(|(_, b)| net >= b) {
+                    // Ties go to the deeper candidate — the larger node id
+                    // (see the doc comment): with optimization, unrolled
+                    // bodies often fold to the same size and both saturate
+                    // LT at L_cm, and the deeper trigger buys lookahead
+                    // slack at no modeled cost (cf. the paper's observation
+                    // that over-specifying latency compensates for
+                    // unmodeled bus contention).
+                    if net > 0.0
+                        && best.is_none_or(|(bn, b)| (net, node) >= (b, bn))
+                    {
                         best = Some((node, net));
                     }
                 }
@@ -116,7 +148,7 @@ pub fn solve_tree(
         let mut new_reductions: HashMap<NodeId, f64> = HashMap::new();
         for &c in &next {
             if let Some(p) = closest_selected_ancestor(tree, c, &next) {
-                if let Some(psc) = score(p, &mut scores) {
+                if let Some(psc) = scores.get(p).and_then(Option::as_ref) {
                     *new_reductions.entry(p).or_insert(0.0) +=
                         tree.node(c).dc_ptcm as f64 * psc.advantage.lt;
                 }
@@ -133,7 +165,7 @@ pub fn solve_tree(
     selected
         .into_iter()
         .filter_map(|node| {
-            let sc = score(node, &mut scores)?;
+            let sc = scores.get(node).and_then(Option::as_ref)?.clone();
             let net = sc.advantage.adv_agg - reductions.get(&node).copied().unwrap_or(0.0);
             if net > 0.0 {
                 Some((node, sc, net))
@@ -180,7 +212,75 @@ fn reductions_differ(a: &HashMap<NodeId, f64>, b: &HashMap<NodeId, f64>) -> bool
 /// Panics if `params` fail validation (see
 /// [`SelectionParams::validate`]).
 pub fn select_pthreads(forest: &SliceForest, params: &SelectionParams) -> Selection {
+    select_pthreads_par(forest, params, Parallelism::serial())
+}
+
+/// [`select_pthreads`] with intra-call parallelism: candidate scoring fans
+/// out over every `(tree, node)` pair and the overlap fixed points fan out
+/// over trees, then the forest-level accumulation runs serially in tree
+/// (problem-load PC) order.
+///
+/// The result is **byte-identical** to [`select_pthreads`] for every
+/// thread count: scoring each candidate is a pure function of its node,
+/// the per-tree fixed point consumes an identical score table, and the
+/// cross-tree floating-point accumulation never changes order (see
+/// [`crate::par`] for the chunking/merge contract and
+/// [`solve_tree_scored`] for the `(adv_agg, node id)` tie-break).
+///
+/// # Panics
+///
+/// Panics if `params` fail validation.
+pub fn select_pthreads_par(
+    forest: &SliceForest,
+    params: &SelectionParams,
+    par: Parallelism,
+) -> Selection {
+    select_pthreads_stats(forest, params, par).0
+}
+
+/// [`select_pthreads_par`] plus utilization counters for the two parallel
+/// stages (scoring + per-tree solving), for the service's speedup gauges.
+///
+/// # Panics
+///
+/// Panics if `params` fail validation.
+pub fn select_pthreads_stats(
+    forest: &SliceForest,
+    params: &SelectionParams,
+    par: Parallelism,
+) -> (Selection, ParStats) {
     params.validate();
+    let trees: Vec<(Pc, &SliceTree)> = forest.trees().collect();
+
+    // Stage 1 — score every candidate. The fan-out is flat over
+    // (tree, node) pairs rather than over trees so one huge tree cannot
+    // serialize the stage.
+    let score_items: Vec<(usize, NodeId)> = trees
+        .iter()
+        .enumerate()
+        .flat_map(|(ti, (_, tree))| (1..tree.len()).map(move |node| (ti, node)))
+        .collect();
+    let (flat_scores, mut pstats) = par::map_stats(par, &score_items, |&(ti, node)| {
+        let (_, tree) = trees[ti];
+        score_node(tree, node, forest.dc_trig(tree.node(node).pc), params)
+    });
+    let mut scores: Vec<Vec<Option<ScoredCandidate>>> =
+        trees.iter().map(|(_, tree)| vec![None; tree.len()]).collect();
+    for ((ti, node), sc) in score_items.into_iter().zip(flat_scores) {
+        scores[ti][node] = sc;
+    }
+
+    // Stage 2 — per-tree overlap fixed points (independent sub-problems
+    // per the paper's §3.2 decomposition).
+    let tree_indices: Vec<usize> = (0..trees.len()).collect();
+    let (all_picks, solve_stats) = par::map_stats(par, &tree_indices, |&ti| {
+        solve_tree_scored(trees[ti].1, &scores[ti])
+    });
+    pstats.absorb(&solve_stats);
+
+    // Stage 3 — serial fold in tree order: the floating-point
+    // accumulation sequence is fixed, so aggregates match the serial
+    // driver bit for bit.
     let mut pthreads: Vec<StaticPThread> = Vec::new();
     let mut misses_covered: u64 = 0;
     let mut misses_fully_covered: u64 = 0;
@@ -188,8 +288,7 @@ pub fn select_pthreads(forest: &SliceForest, params: &SelectionParams) -> Select
     let mut oh_agg = 0.0;
     let mut adv_agg = 0.0;
 
-    for (target_pc, tree) in forest.trees() {
-        let picks = solve_tree(tree, &|pc| forest.dc_trig(pc), params);
+    for ((target_pc, tree), picks) in trees.into_iter().zip(all_picks) {
         let selected: BTreeSet<NodeId> = picks.iter().map(|(n, _, _)| *n).collect();
         let full: BTreeMap<NodeId, bool> = picks
             .iter()
@@ -260,7 +359,7 @@ pub fn select_pthreads(forest: &SliceForest, params: &SelectionParams) -> Select
         adv_agg,
         bw_seq: params.bw_seq,
     };
-    Selection { pthreads, prediction }
+    (Selection { pthreads, prediction }, pstats)
 }
 
 #[cfg(test)]
@@ -382,6 +481,97 @@ mod tests {
         let sel = select_pthreads(&forest, &params);
         assert!(sel.prediction.misses_covered <= 1);
         assert!(sel.prediction.launches <= 1);
+    }
+
+    /// Builds a pure-chain slice tree (single leaf) by hand:
+    /// root = the problem load, then `depth` copies of the induction addi,
+    /// each feeding the one above.
+    fn chain_tree(depth: usize) -> SliceTree {
+        use preexec_slice::SliceEntry;
+        let p = assemble("chain", "ld r4, 0(r1)\n addi r1, r1, 64\n halt").unwrap();
+        let mut slice = vec![SliceEntry {
+            pc: 0,
+            inst: p.inst(0).clone(),
+            dist: 0,
+            dep_positions: vec![1],
+        }];
+        for d in 1..=depth {
+            slice.push(SliceEntry {
+                pc: 1,
+                inst: p.inst(1).clone(),
+                dist: d as u64,
+                dep_positions: if d < depth { vec![d as u32 + 1] } else { vec![] },
+            });
+        }
+        let mut tree = SliceTree::new(0, p.inst(0).clone());
+        tree.insert_slice(&slice);
+        tree
+    }
+
+    fn candidate_with_advantage(tree: &SliceTree, node: NodeId, adv_agg: f64) -> ScoredCandidate {
+        ScoredCandidate {
+            advantage: Advantage {
+                scdh_pt: 1.0,
+                scdh_mt: 10.0,
+                lt: 10.0,
+                oh: 0.0,
+                lt_agg: adv_agg,
+                oh_agg: 0.0,
+                adv_agg,
+                full_coverage: false,
+            },
+            exec_body: candidate_body(tree, node),
+        }
+    }
+
+    #[test]
+    fn equal_advantage_tie_goes_to_the_larger_node_id() {
+        // Two candidates on one root-to-leaf path with *exactly* equal
+        // ADVagg: the winner must be the larger node id (the deeper
+        // trigger), for every arrangement — this is the explicit
+        // (adv_agg, node id) order the parallel == serial guarantee
+        // rests on.
+        let tree = chain_tree(2);
+        let mut scores: Vec<Option<ScoredCandidate>> = vec![None; tree.len()];
+        scores[1] = Some(candidate_with_advantage(&tree, 1, 100.0));
+        scores[2] = Some(candidate_with_advantage(&tree, 2, 100.0));
+        let picks = solve_tree_scored(&tree, &scores);
+        assert_eq!(picks.len(), 1, "one winner per leaf path");
+        assert_eq!(picks[0].0, 2, "equal ADVagg must resolve to the deeper node");
+
+        // Sanity: the order is on advantage first — a strictly better
+        // shallow candidate still beats the deeper one.
+        let mut scores2: Vec<Option<ScoredCandidate>> = vec![None; tree.len()];
+        scores2[1] = Some(candidate_with_advantage(&tree, 1, 101.0));
+        scores2[2] = Some(candidate_with_advantage(&tree, 2, 100.0));
+        let picks2 = solve_tree_scored(&tree, &scores2);
+        assert_eq!(picks2.len(), 1);
+        assert_eq!(picks2[0].0, 1);
+    }
+
+    #[test]
+    fn parallel_selection_is_bit_identical_to_serial() {
+        let forest = forest_for(STREAM);
+        for params in [
+            SelectionParams { ipc: 2.0, ..SelectionParams::default() },
+            SelectionParams { ipc: 2.0, optimize: false, merge: false, ..SelectionParams::default() },
+        ] {
+            let serial = select_pthreads(&forest, &params);
+            for threads in [2, 3, 8] {
+                let par = select_pthreads_par(&forest, &params, Parallelism::new(threads));
+                // Debug formatting round-trips every f64 exactly, so this
+                // is a bitwise comparison of the whole selection.
+                assert_eq!(
+                    format!("{par:?}"),
+                    format!("{serial:?}"),
+                    "threads={threads}"
+                );
+                assert_eq!(
+                    par.prediction.adv_agg.to_bits(),
+                    serial.prediction.adv_agg.to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,12 +1,25 @@
 //! The trace → slice → select → simulate pipeline.
 
 use crate::PipelineError;
-use preexec_core::{select_pthreads, Selection, SelectionParams, StaticPThread};
+use preexec_core::par::{self, ParStats, Parallelism};
+use preexec_core::{select_pthreads, select_pthreads_stats, Selection, SelectionParams, StaticPThread};
 use preexec_func::{try_run_trace, ExecError, RunStats, TraceConfig};
 use preexec_isa::Program;
 use preexec_mem::HierarchyConfig;
-use preexec_slice::{SliceForest, SliceForestBuilder};
+use preexec_slice::{PendingTree, SliceForest, SliceForestBuilder};
 use preexec_timing::{try_simulate, MachineParams, SimConfig, SimMode, SimResult};
+
+/// Per-stage parallel-utilization counters for one pipeline run: one
+/// [`ParStats`] per parallelized stage (slice-tree construction;
+/// score + select). Trace extraction and the timing sims are inherently
+/// serial and have no counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineParStats {
+    /// The deferred slice-tree build fan-out (one item per problem load).
+    pub slice: ParStats,
+    /// The selection fan-outs (per-candidate scoring + per-tree solving).
+    pub select: ParStats,
+}
 
 /// Configuration of one pipeline run.
 #[derive(Debug, Clone, Copy)]
@@ -192,6 +205,53 @@ pub fn try_trace_and_slice_warm(
     warmup: u64,
 ) -> Result<(SliceForest, RunStats), PipelineError> {
     let mut builder = SliceForestBuilder::try_new(scope, max_slice_len)?;
+    let stats = trace_into_builder(program, &mut builder, budget, warmup)?;
+    Ok((builder.finish(), stats))
+}
+
+/// [`try_trace_and_slice_warm`] with parallel slice-tree construction:
+/// the trace itself is inherently serial (the slicing window is a running
+/// state over the instruction stream), so slices are *banked* per problem
+/// load during the trace and the per-load trees — independent by
+/// construction — are built concurrently afterwards.
+///
+/// The forest is **byte-identical** for every thread count (per-load
+/// slice order is preserved and tree construction is a pure function of
+/// it); with a serial knob this takes exactly the historical
+/// build-as-you-trace path, avoiding the deferred mode's slice banking.
+///
+/// # Errors
+///
+/// Same as [`try_trace_and_slice_warm`].
+pub fn try_trace_and_slice_warm_par(
+    program: &Program,
+    scope: usize,
+    max_slice_len: usize,
+    budget: u64,
+    warmup: u64,
+    par: Parallelism,
+) -> Result<(SliceForest, RunStats, ParStats), PipelineError> {
+    if par.is_serial() {
+        let (forest, stats) =
+            try_trace_and_slice_warm(program, scope, max_slice_len, budget, warmup)?;
+        return Ok((forest, stats, ParStats { threads: 1, ..ParStats::default() }));
+    }
+    let mut builder = SliceForestBuilder::try_new_deferred(scope, max_slice_len)?;
+    let stats = trace_into_builder(program, &mut builder, budget, warmup)?;
+    let deferred = builder.finish_deferred();
+    let (trees, pstats) = par::map_stats(par, deferred.pending(), PendingTree::build);
+    Ok((deferred.assemble(trees), stats, pstats))
+}
+
+/// The serial trace loop shared by the immediate and deferred slicing
+/// paths: runs the functional cache simulator, feeding every dynamic
+/// instruction to `builder` and accumulating the trace statistics.
+fn trace_into_builder(
+    program: &Program,
+    builder: &mut SliceForestBuilder,
+    budget: u64,
+    warmup: u64,
+) -> Result<RunStats, PipelineError> {
     let config = TraceConfig {
         hierarchy: HierarchyConfig::paper_default(),
         max_steps: warmup.saturating_add(budget),
@@ -246,7 +306,7 @@ pub fn try_trace_and_slice_warm(
         return Err(e.into());
     }
     stats.total_steps = full.total_steps;
-    Ok((builder.finish(), stats))
+    Ok(stats)
 }
 
 /// The [`SelectionParams`] implied by a pipeline config and a measured
@@ -344,9 +404,26 @@ pub fn try_select(
     cfg: &PipelineConfig,
     base_ipc: f64,
 ) -> Result<Selection, PipelineError> {
+    try_select_par(forest, cfg, base_ipc, Parallelism::serial()).map(|(s, _)| s)
+}
+
+/// [`try_select`] with intra-stage parallelism (see
+/// [`preexec_core::select_pthreads_par`] for the fan-out and the
+/// byte-identity guarantee), returning the stage's utilization counters
+/// alongside the selection.
+///
+/// # Errors
+///
+/// Same as [`try_select`].
+pub fn try_select_par(
+    forest: &SliceForest,
+    cfg: &PipelineConfig,
+    base_ipc: f64,
+    par: Parallelism,
+) -> Result<(Selection, ParStats), PipelineError> {
     let params = selection_params(cfg, base_ipc);
     params.try_validate()?;
-    Ok(select_pthreads(forest, &params))
+    Ok(select_pthreads_stats(forest, &params, par))
 }
 
 /// Finishes a pipeline run from pre-computed trace artifacts: base sim,
@@ -369,11 +446,29 @@ pub fn try_run_pipeline_with_artifacts(
     forest: &SliceForest,
     stats: RunStats,
 ) -> Result<PipelineResult, PipelineError> {
+    try_run_pipeline_with_artifacts_par(program, cfg, forest, stats, Parallelism::serial())
+        .map(|(r, _)| r)
+}
+
+/// [`try_run_pipeline_with_artifacts`] with intra-stage parallelism for
+/// the selection stage (the sims are inherently serial), returning the
+/// selection stage's utilization counters.
+///
+/// # Errors
+///
+/// Same as [`try_run_pipeline_with_artifacts`].
+pub fn try_run_pipeline_with_artifacts_par(
+    program: &Program,
+    cfg: &PipelineConfig,
+    forest: &SliceForest,
+    stats: RunStats,
+    par: Parallelism,
+) -> Result<(PipelineResult, ParStats), PipelineError> {
     cfg.try_validate()?;
     let base = try_base_sim(program, cfg)?;
-    let selection = try_select(forest, cfg, base.ipc())?;
+    let (selection, pstats) = try_select_par(forest, cfg, base.ipc(), par)?;
     let assisted = try_sim(program, &selection.pthreads, cfg, SimMode::Normal)?;
-    Ok(PipelineResult { stats, base, selection, assisted })
+    Ok((PipelineResult { stats, base, selection, assisted }, pstats))
 }
 
 /// Full pipeline: trace, slice, select against the measured base IPC, and
@@ -402,10 +497,36 @@ pub fn try_run_pipeline(
     program: &Program,
     cfg: &PipelineConfig,
 ) -> Result<PipelineResult, PipelineError> {
+    try_run_pipeline_par(program, cfg, Parallelism::serial()).map(|(r, _)| r)
+}
+
+/// [`try_run_pipeline`] with the intra-job parallelism knob threaded
+/// through every stage that fans out (slice-tree construction and
+/// selection), plus the per-stage utilization counters.
+///
+/// The [`PipelineResult`] is **byte-identical** for every thread count —
+/// this is the contract pinned by `tests/determinism.rs`.
+///
+/// # Errors
+///
+/// Same as [`try_run_pipeline`].
+pub fn try_run_pipeline_par(
+    program: &Program,
+    cfg: &PipelineConfig,
+    par: Parallelism,
+) -> Result<(PipelineResult, PipelineParStats), PipelineError> {
     cfg.try_validate()?;
-    let (forest, stats) =
-        try_trace_and_slice_warm(program, cfg.scope, cfg.max_slice_len, cfg.budget, cfg.warmup)?;
-    try_run_pipeline_with_artifacts(program, cfg, &forest, stats)
+    let (forest, stats, slice_stats) = try_trace_and_slice_warm_par(
+        program,
+        cfg.scope,
+        cfg.max_slice_len,
+        cfg.budget,
+        cfg.warmup,
+        par,
+    )?;
+    let (result, select_stats) =
+        try_run_pipeline_with_artifacts_par(program, cfg, &forest, stats, par)?;
+    Ok((result, PipelineParStats { slice: slice_stats, select: select_stats }))
 }
 
 /// Selects p-threads from one program sample (e.g. a test input or a

@@ -1,0 +1,61 @@
+//! Cross-thread-count determinism: the full pipeline must produce
+//! byte-identical results at every `Parallelism` setting.
+//!
+//! This is the contract that makes `--threads N` safe to default on: the
+//! slice-tree fan-out, the per-candidate scoring fan-out, and the
+//! per-tree selection fixed points all merge in input order, and every
+//! cross-item floating-point accumulation stays serial (see
+//! `preexec_core::par` and DESIGN.md §11). `Debug` formatting round-trips
+//! every `f64` exactly, so string equality below is bitwise equality of
+//! the whole result.
+
+use preexec_experiments::{
+    try_run_pipeline_par, try_trace_and_slice_warm_par, Parallelism, PipelineConfig,
+};
+use preexec_slice::write_forest;
+use preexec_workloads::{suite, InputSet};
+
+#[test]
+fn pipeline_is_bit_identical_across_thread_counts() {
+    let w = suite().into_iter().find(|w| w.name == "vpr.r").expect("suite has vpr.r");
+    let p = w.build(InputSet::Train);
+    let cfg = PipelineConfig::paper_default(60_000);
+
+    let (reference, _) =
+        try_run_pipeline_par(&p, &cfg, Parallelism::serial()).expect("serial run");
+    let ref_fmt = format!("{reference:?}");
+    // The run must be non-trivial, or identity proves nothing.
+    assert!(!reference.selection.pthreads.is_empty());
+    assert!(reference.base.mem.l2_misses > 0);
+
+    for threads in [2, 8] {
+        let (r, pstats) =
+            try_run_pipeline_par(&p, &cfg, Parallelism::new(threads)).expect("parallel run");
+        assert_eq!(
+            format!("{r:?}"),
+            ref_fmt,
+            "pipeline output differs at threads={threads}"
+        );
+        // The parallel stages really ran over the work.
+        assert!(pstats.slice.items > 0, "slice stage saw no items");
+        assert!(pstats.select.items > 0, "select stage saw no items");
+    }
+}
+
+#[test]
+fn slice_forest_serializes_identically_across_thread_counts() {
+    // The artifact cache persists forests; a thread-count-dependent byte
+    // stream would poison cache keys across daemon configurations.
+    let w = suite().into_iter().find(|w| w.name == "mcf").expect("suite has mcf");
+    let p = w.build(InputSet::Train);
+    let (f1, _, _) =
+        try_trace_and_slice_warm_par(&p, 1024, 32, 40_000, 10_000, Parallelism::serial())
+            .expect("serial trace");
+    let reference = write_forest(&f1);
+    for threads in [2, 8] {
+        let (f_n, _, _) =
+            try_trace_and_slice_warm_par(&p, 1024, 32, 40_000, 10_000, Parallelism::new(threads))
+                .expect("parallel trace");
+        assert_eq!(write_forest(&f_n), reference, "forest differs at threads={threads}");
+    }
+}

@@ -29,7 +29,7 @@ use std::fmt;
 pub const PTHREAD_ADDR_LIMIT: u64 = 1 << 48;
 
 /// Why a speculative p-thread was squashed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SquashReason {
     /// A body instruction's opcode does not belong to the class its
     /// encoding claims (e.g. a load opcode in an ALU slot).

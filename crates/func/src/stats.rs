@@ -2,7 +2,7 @@
 
 use preexec_isa::Pc;
 use preexec_mem::MemLevel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-static-load statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,7 +39,7 @@ pub struct RunStats {
     /// Measured loads that missed the L2.
     pub l2_misses: u64,
     /// Per-static-load breakdown.
-    pub load_sites: HashMap<Pc, LoadSiteStats>,
+    pub load_sites: BTreeMap<Pc, LoadSiteStats>,
     /// Whether the run was cut off by the step watchdog (`max_steps`)
     /// rather than halting on its own. A timed-out trace is still usable —
     /// everything counted up to the cutoff is valid — but downstream

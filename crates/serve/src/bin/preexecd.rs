@@ -15,6 +15,8 @@ options:
   --addr HOST:PORT   listen address (default 127.0.0.1:7099; port 0 = ephemeral)
   --port N           shorthand for --addr 127.0.0.1:N
   --workers N        worker threads (default: one per core)
+  --job-threads N    intra-job threads per worker for slice/score/select
+                     (default: cores/workers; results are identical for any N)
   --queue-cap N      bounded job-queue capacity (default 256)
   --cache-dir PATH   artifact-cache directory (default preexec-cache)
   --cache-max N      max cache entries before eviction (default 256)
@@ -43,6 +45,11 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             "--workers" => {
                 let v = value("--workers")?;
                 cfg.workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+            }
+            "--job-threads" => {
+                let v = value("--job-threads")?;
+                cfg.job_threads =
+                    v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
             }
             "--queue-cap" => {
                 let v = value("--queue-cap")?;

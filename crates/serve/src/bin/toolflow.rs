@@ -3,13 +3,21 @@
 //! reads the file and generates p-thread sets for several machine
 //! configurations quickly, without re-tracing.
 //!
-//! Usage: `toolflow [--jobs N] [workload[,workload...]|all] [budget] [out.slices]`
-//!        `toolflow --read <file.slices>` (selection only, no re-tracing)
+//! Usage: `toolflow [--jobs N] [--threads N] [workload[,workload...]|all] [budget] [out.slices]`
+//!        `toolflow [--threads N] --read <file.slices>` (selection only, no re-tracing)
 //!
 //! With several workloads the runs are scheduled over `--jobs N` worker
 //! threads (default 1). Output is buffered per workload and printed in
 //! submission order, so it is byte-identical for every `N`; `--jobs 1`
 //! additionally *executes* serially, matching the historical behaviour.
+//!
+//! `--threads N` (default 1) additionally parallelizes the slice-tree
+//! construction and candidate scoring *inside* each workload run via
+//! `preexec_core::par`. Results are bit-identical for every `N` — the
+//! fan-outs merge in input order and cross-item accumulation stays
+//! serial (DESIGN.md §11) — so the two knobs compose freely:
+//! `--jobs` trades throughput across workloads, `--threads` latency
+//! within one.
 //!
 //! Exit codes:
 //!
@@ -24,8 +32,8 @@
 //! With several workloads the process exits with the first failing
 //! workload's code (in submission order).
 
-use preexec_core::{select_pthreads, SelectionParams};
-use preexec_experiments::pipeline::try_trace_and_slice_warm;
+use preexec_core::{select_pthreads_par, Parallelism, SelectionParams};
+use preexec_experiments::pipeline::try_trace_and_slice_warm_par;
 use preexec_serve::scheduler::{JobCompletion, Scheduler};
 use preexec_slice::{read_forest, read_forest_lenient, write_forest, SliceForest};
 use preexec_workloads::{suite, InputSet, Workload};
@@ -67,6 +75,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<u8, Failure> {
     let mut jobs: usize = 1;
+    let mut threads: usize = 1;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -81,6 +90,16 @@ fn run(args: &[String]) -> Result<u8, Failure> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| Failure::new(2, format!("bad job count `{v}`")))?;
             }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| Failure::new(2, "--threads needs a value"))?;
+                threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| Failure::new(2, format!("bad thread count `{v}`")))?;
+            }
             // Selection-only mode: the whole point of the decoupled
             // toolflow is that pass 2 can rerun without re-tracing.
             "--read" => {
@@ -90,7 +109,7 @@ fn run(args: &[String]) -> Result<u8, Failure> {
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| Failure::new(3, format!("reading {path}: {e}")))?;
                 let mut report = JobReport::default();
-                read_and_select(path, &text, &mut report);
+                read_and_select(path, &text, Parallelism::new(threads), &mut report);
                 print!("{}", report.stdout);
                 eprint!("{}", report.stderr);
                 return Ok(report.code);
@@ -147,9 +166,10 @@ fn run(args: &[String]) -> Result<u8, Failure> {
                 .cloned()
                 .cloned()
                 .unwrap_or_else(|| format!("{name}.slices"));
+            let par = Parallelism::new(threads);
             sched
                 .submit(Box::new(move || {
-                    JobCompletion::Done(run_workload(&name, &program, budget, &path))
+                    JobCompletion::Done(run_workload(&name, &program, budget, &path, par))
                 }))
                 .map_err(|e| Failure::new(2, format!("submitting {}: {e}", w.name)))
         })
@@ -179,11 +199,12 @@ fn run_workload(
     program: &preexec_isa::Program,
     budget: u64,
     path: &str,
+    par: Parallelism,
 ) -> JobReport {
     let mut report = JobReport::default();
     // Pass 1 (expensive, once): trace and slice, write the file.
-    let (forest, stats) =
-        match try_trace_and_slice_warm(program, 1024, 32, budget, budget / 4) {
+    let (forest, stats, _) =
+        match try_trace_and_slice_warm_par(program, 1024, 32, budget, budget / 4, par) {
             Ok(x) => x,
             Err(e) => {
                 let _ = writeln!(report.stderr, "toolflow: tracing {name}: {e}");
@@ -207,7 +228,7 @@ fn run_workload(
     // Pass 2 (cheap, many times): read the file back and select p-thread
     // sets for several configurations.
     match std::fs::read_to_string(path) {
-        Ok(text) => read_and_select(path, &text, &mut report),
+        Ok(text) => read_and_select(path, &text, par, &mut report),
         Err(e) => {
             let _ = writeln!(report.stderr, "toolflow: reading {path}: {e}");
             report.code = 3;
@@ -218,9 +239,9 @@ fn run_workload(
 
 /// Pass 2: parse a slice file (strictly, with best-effort recovery on
 /// corruption) and report p-thread selections.
-fn read_and_select(path: &str, text: &str, report: &mut JobReport) {
+fn read_and_select(path: &str, text: &str, par: Parallelism, report: &mut JobReport) {
     match read_forest(text) {
-        Ok(forest) => select_and_report(&forest, report),
+        Ok(forest) => select_and_report(&forest, par, report),
         Err(strict_err) => {
             // Corruption always exits nonzero, but salvage what we can
             // first: a partially recovered forest still yields a usable
@@ -237,7 +258,7 @@ fn read_and_select(path: &str, text: &str, report: &mut JobReport) {
                     recovered.forest.num_trees(),
                     recovered.skipped_trees
                 );
-                select_and_report(&recovered.forest, report);
+                select_and_report(&recovered.forest, par, report);
             }
             let _ = writeln!(
                 report.stderr,
@@ -251,7 +272,7 @@ fn read_and_select(path: &str, text: &str, report: &mut JobReport) {
 }
 
 /// Selects and prints p-thread sets for several machine configurations.
-fn select_and_report(forest: &SliceForest, report: &mut JobReport) {
+fn select_and_report(forest: &SliceForest, par: Parallelism, report: &mut JobReport) {
     for (label, params) in [
         ("8-wide, 78-cycle misses", SelectionParams { bw_seq: 8.0, ipc: 0.5, miss_latency: 78.0, ..SelectionParams::default() }),
         ("8-wide, 148-cycle misses", SelectionParams { bw_seq: 8.0, ipc: 0.5, miss_latency: 148.0, ..SelectionParams::default() }),
@@ -266,7 +287,7 @@ fn select_and_report(forest: &SliceForest, report: &mut JobReport) {
             report.code = 5;
             return;
         }
-        let sel = select_pthreads(forest, &params);
+        let sel = select_pthreads_par(forest, &params, par);
         let _ = writeln!(
             report.stdout,
             "  [{label}] {} p-threads, predicted coverage {}/{} misses, avg len {:.1}",

@@ -130,6 +130,9 @@ impl CacheStats {
 pub struct ArtifactCache {
     dir: PathBuf,
     max_entries: usize,
+    /// How old a `.tmp` staging file must be before an eviction scan
+    /// treats it as an orphan (a live writer renames within moments).
+    tmp_grace: std::time::Duration,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -144,6 +147,7 @@ impl ArtifactCache {
         ArtifactCache {
             dir: dir.into(),
             max_entries: max_entries.max(1),
+            tmp_grace: std::time::Duration::from_secs(60),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -228,24 +232,42 @@ impl ArtifactCache {
         Ok(())
     }
 
-    /// Removes the oldest entries (by modification time) until at most
-    /// `max_entries` remain.
+    /// Removes the oldest entries (by modification time, ties broken by
+    /// path so concurrent scans agree on the victim) until at most
+    /// `max_entries` remain. The same scan sweeps `.tmp` staging files
+    /// orphaned by a crashed writer — those would otherwise accumulate
+    /// forever, invisible to the entry count.
     fn evict_excess(&self) {
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return;
         };
-        let mut slices: Vec<(std::time::SystemTime, PathBuf)> = entries
-            .flatten()
-            .filter(|e| e.path().extension().is_some_and(|x| x == "slices"))
-            .filter_map(|e| {
-                let mtime = e.metadata().and_then(|m| m.modified()).ok()?;
-                Some((mtime, e.path()))
-            })
-            .collect();
+        let now = std::time::SystemTime::now();
+        let mut slices: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        for e in entries.flatten() {
+            let path = e.path();
+            let mtime = e.metadata().and_then(|m| m.modified()).ok();
+            if path.extension().is_some_and(|x| x == "tmp") {
+                // Old enough that no live writer can still be about to
+                // rename it (writers rename within moments of the write).
+                let orphaned = mtime.is_none_or(|t| {
+                    now.duration_since(t).is_ok_and(|age| age >= self.tmp_grace)
+                });
+                if orphaned {
+                    let _ = std::fs::remove_file(&path);
+                }
+            } else if path.extension().is_some_and(|x| x == "slices") {
+                if let Some(mtime) = mtime {
+                    slices.push((mtime, path));
+                }
+            }
+        }
         if slices.len() <= self.max_entries {
             return;
         }
-        slices.sort_by_key(|a| a.0);
+        // Lexicographic (mtime, path): filesystems with coarse timestamps
+        // routinely give back-to-back stores identical mtimes, and a sort
+        // keyed on mtime alone would then pick victims by directory order.
+        slices.sort();
         let excess = slices.len() - self.max_entries;
         for (_, path) in slices.into_iter().take(excess) {
             let _ = std::fs::remove_file(&path);
@@ -461,6 +483,29 @@ mod tests {
             .count();
         assert_eq!(remaining, 2);
         assert_eq!(cache.stats().evictions, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_scan_sweeps_orphaned_tmp_files() {
+        let dir = tmp_dir("tmp-orphans");
+        let mut cache = ArtifactCache::new(&dir, 8);
+        let (forest, stats) = sample_artifacts();
+        cache.store(&key("a"), &forest, &stats).expect("store");
+        // A staging file a crashed writer left behind.
+        let orphan = dir.join("deadbeefdeadbeef.slices.tmp");
+        std::fs::write(&orphan, "torn half-write").expect("plant orphan");
+        // Within the grace period the scan must leave it alone (it could
+        // be a live writer about to rename).
+        cache.store(&key("b"), &forest, &stats).expect("store");
+        assert!(orphan.exists(), "fresh .tmp swept inside the grace period");
+        // Past the grace period it is an orphan and gets swept.
+        cache.tmp_grace = std::time::Duration::ZERO;
+        cache.store(&key("c"), &forest, &stats).expect("store");
+        assert!(!orphan.exists(), "orphaned .tmp survived the scan");
+        // Real entries are untouched (no spurious evictions either).
+        assert!(cache.load(&key("a")).is_some());
+        assert_eq!(cache.stats().evictions, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -18,10 +18,11 @@ use crate::json::Json;
 use crate::proto::{error_response, ok_response, parse_request, result_json, Request};
 use crate::scheduler::{JobCompletion, Scheduler, SubmitError};
 use crate::service::{run_job, JobOutput, StageHists};
+use preexec_core::par::Parallelism;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,6 +34,12 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker-pool size (0 means one worker per available core).
     pub workers: usize,
+    /// Intra-job threads per worker for the parallelizable pipeline
+    /// stages (0 means `cores / workers`, at least 1). Total analysis
+    /// threads are bounded by `workers × job_threads`: each stage holds
+    /// its scoped threads only while it runs, so the default keeps the
+    /// daemon at about one thread per core whatever the worker count.
+    pub job_threads: usize,
     /// Bounded job-queue capacity.
     pub queue_cap: usize,
     /// Artifact-cache directory (created lazily on first store).
@@ -46,6 +53,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 0,
+            job_threads: 0,
             queue_cap: 256,
             cache_dir: PathBuf::from("preexec-cache"),
             cache_max_entries: 256,
@@ -61,6 +69,13 @@ struct Shared {
     shutting_down: AtomicBool,
     local_addr: SocketAddr,
     queue_cap: usize,
+    /// Resolved intra-job thread count handed to every [`run_job`].
+    job_threads: usize,
+    /// Connections accepted over the daemon's life.
+    connections_total: AtomicU64,
+    /// Live handler threads after the accept loop's last reap — the
+    /// gauge the boundedness test watches.
+    handlers_live: AtomicUsize,
 }
 
 /// A bound (but not yet serving) daemon.
@@ -78,10 +93,12 @@ impl Server {
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let workers = if config.workers == 0 {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let workers = if config.workers == 0 { cores } else { config.workers };
+        let job_threads = if config.job_threads == 0 {
+            (cores / workers).max(1)
         } else {
-            config.workers
+            config.job_threads
         };
         let shared = Arc::new(Shared {
             sched: Scheduler::new(workers, config.queue_cap),
@@ -90,6 +107,9 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             local_addr,
             queue_cap: config.queue_cap,
+            job_threads,
+            connections_total: AtomicU64::new(0),
+            handlers_live: AtomicUsize::new(0),
         });
         Ok(Server { listener, shared })
     }
@@ -115,8 +135,14 @@ impl Server {
                 // The poke connection (or a late client): stop accepting.
                 break;
             }
+            // Reap finished handlers before spawning the next one, so the
+            // vector tracks live connections rather than growing (and
+            // holding dead threads' stacks) for the daemon's whole life.
+            handlers.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
+            self.shared.connections_total.fetch_add(1, Ordering::Relaxed);
             let shared = Arc::clone(&self.shared);
             handlers.push(std::thread::spawn(move || handle_connection(stream, &shared)));
+            self.shared.handlers_live.store(handlers.len(), Ordering::Relaxed);
         }
         // Graceful drain: finish queued + running jobs, then collect the
         // handler threads (their read timeout notices the flag).
@@ -181,7 +207,8 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
             // the cache and histograms alive through its own Arc.
             let job_shared = Arc::clone(shared);
             let submitted = shared.sched.submit(Box::new(move || {
-                run_job(&spec, &job_shared.cache, &job_shared.hists)
+                let par = Parallelism::new(job_shared.job_threads);
+                run_job(&spec, &job_shared.cache, &job_shared.hists, par)
             }));
             match submitted {
                 Ok(id) => ok_response(vec![("job", Json::num_u64(id))]),
@@ -275,5 +302,20 @@ fn stats_response(shared: &Shared) -> Json {
             ]),
         ),
         ("stage_latency_us", shared.hists.to_json()),
+        ("job_threads", Json::num_u64(shared.job_threads as u64)),
+        ("parallel", shared.hists.par.to_json()),
+        (
+            "connections",
+            Json::obj(vec![
+                (
+                    "total",
+                    Json::num_u64(shared.connections_total.load(Ordering::Relaxed)),
+                ),
+                (
+                    "live_handlers",
+                    Json::num_u64(shared.handlers_live.load(Ordering::Relaxed) as u64),
+                ),
+            ]),
+        ),
     ])
 }

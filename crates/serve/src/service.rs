@@ -19,10 +19,12 @@
 use crate::cache::{ArtifactCache, TraceKey};
 use crate::histogram::Histogram;
 use crate::scheduler::JobCompletion;
-use preexec_experiments::pipeline::{try_base_sim, try_select, try_sim};
-use preexec_experiments::{try_trace_and_slice_warm, PipelineConfig, PipelineResult};
+use preexec_core::par::{ParStats, Parallelism};
+use preexec_experiments::pipeline::{try_base_sim, try_select_par, try_sim};
+use preexec_experiments::{try_trace_and_slice_warm_par, PipelineConfig, PipelineResult};
 use preexec_timing::SimMode;
 use preexec_workloads::{by_name, InputSet, Workload};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -95,6 +97,49 @@ pub struct StageMicros {
     pub assisted_sim: u64,
 }
 
+/// Service-wide intra-job parallelism counters: cumulative busy/wall
+/// time per parallelized stage, from which the `stats` command derives
+/// the achieved per-stage speedup (`busy / wall` ≈ effective threads).
+#[derive(Debug, Default)]
+pub struct ParCounters {
+    slice_wall_us: AtomicU64,
+    slice_busy_us: AtomicU64,
+    select_wall_us: AtomicU64,
+    select_busy_us: AtomicU64,
+}
+
+impl ParCounters {
+    /// Accumulates one job's slice-tree-build stage counters.
+    pub fn record_slice(&self, s: &ParStats) {
+        self.slice_wall_us.fetch_add(s.wall_us, Ordering::Relaxed);
+        self.slice_busy_us.fetch_add(s.busy_us, Ordering::Relaxed);
+    }
+
+    /// Accumulates one job's selection-stage counters.
+    pub fn record_select(&self, s: &ParStats) {
+        self.select_wall_us.fetch_add(s.wall_us, Ordering::Relaxed);
+        self.select_busy_us.fetch_add(s.busy_us, Ordering::Relaxed);
+    }
+
+    /// Serializes both stages as `{wall_us, busy_us, speedup}` objects.
+    pub fn to_json(&self) -> crate::json::Json {
+        fn stage(wall: &AtomicU64, busy: &AtomicU64) -> crate::json::Json {
+            let wall = wall.load(Ordering::Relaxed);
+            let busy = busy.load(Ordering::Relaxed);
+            let speedup = if wall == 0 { 1.0 } else { busy as f64 / wall as f64 };
+            crate::json::Json::obj(vec![
+                ("wall_us", crate::json::Json::num_u64(wall)),
+                ("busy_us", crate::json::Json::num_u64(busy)),
+                ("speedup", crate::json::Json::Num(speedup)),
+            ])
+        }
+        crate::json::Json::obj(vec![
+            ("slice", stage(&self.slice_wall_us, &self.slice_busy_us)),
+            ("select", stage(&self.select_wall_us, &self.select_busy_us)),
+        ])
+    }
+}
+
 /// The service-wide per-stage latency histograms. Workers record through
 /// a mutex per stage; recording is a handful of integer ops, so
 /// contention is negligible next to stage runtimes.
@@ -104,6 +149,8 @@ pub struct StageHists {
     base_sim: Mutex<Histogram>,
     select: Mutex<Histogram>,
     assisted_sim: Mutex<Histogram>,
+    /// Intra-job parallel-stage utilization (fed by [`run_job`]).
+    pub par: ParCounters,
 }
 
 /// Recovers from mutex poisoning: a histogram is always internally
@@ -161,6 +208,12 @@ pub struct JobOutput {
 /// [`JobCompletion::Failed`]; watchdog-truncated timing runs become
 /// [`JobCompletion::TimedOut`] with the (valid) result attached.
 ///
+/// `par` is the *intra-job* thread knob: the slice-tree build and the
+/// selection fan-outs may use up to that many scoped threads while this
+/// job runs (the daemon sizes it against the scheduler pool so
+/// `workers × job_threads` stays bounded by the machine). The job's
+/// result is byte-identical for every setting.
+///
 /// Note: a trace cut by its instruction budget (`RunStats::timed_out`) is
 /// the *normal* sampling mode, not a job timeout — only the timing sims'
 /// `max_cycles` watchdog marks a job `TimedOut`.
@@ -168,6 +221,7 @@ pub fn run_job(
     spec: &JobSpec,
     cache: &ArtifactCache,
     hists: &StageHists,
+    par: Parallelism,
 ) -> JobCompletion<JobOutput> {
     if let Err(e) = spec.cfg.try_validate() {
         return JobCompletion::Failed(e);
@@ -181,14 +235,16 @@ pub fn run_job(
     let (forest, stats, cache_hit) = match cache.load(&key) {
         Some((forest, stats)) => (forest, stats, true),
         None => {
-            match try_trace_and_slice_warm(
+            match try_trace_and_slice_warm_par(
                 &program,
                 cfg.scope,
                 cfg.max_slice_len,
                 cfg.budget,
                 cfg.warmup,
+                par,
             ) {
-                Ok((forest, stats)) => {
+                Ok((forest, stats, pstats)) => {
+                    hists.par.record_slice(&pstats);
                     // A failed store only costs a future recompute.
                     let _ = cache.store(&key, &forest, &stats);
                     (forest, stats, false)
@@ -209,8 +265,11 @@ pub fn run_job(
     stage_us.base_sim = elapsed_us(t);
 
     let t = Instant::now();
-    let selection = match try_select(&forest, cfg, base.ipc()) {
-        Ok(s) => s,
+    let selection = match try_select_par(&forest, cfg, base.ipc(), par) {
+        Ok((s, pstats)) => {
+            hists.par.record_select(&pstats);
+            s
+        }
         Err(e) => return JobCompletion::Failed(e),
     };
     stage_us.select = elapsed_us(t);
@@ -271,12 +330,12 @@ mod tests {
         let cfg = PipelineConfig::paper_default(60_000);
         let spec = JobSpec::new("vpr.r", InputSet::Train, cfg).expect("spec");
 
-        let first = match run_job(&spec, &cache, &hists) {
+        let first = match run_job(&spec, &cache, &hists, Parallelism::new(2)) {
             JobCompletion::Done(out) => out,
             other => panic!("first run: {:?}", other.state()),
         };
         assert!(!first.cache_hit);
-        let second = match run_job(&spec, &cache, &hists) {
+        let second = match run_job(&spec, &cache, &hists, Parallelism::serial()) {
             JobCompletion::Done(out) => out,
             other => panic!("second run: {:?}", other.state()),
         };
@@ -311,7 +370,7 @@ mod tests {
         let hists = StageHists::new();
         let cfg = PipelineConfig::paper_default(40_000);
         let spec = JobSpec::new("gap", InputSet::Train, cfg).expect("spec");
-        let first = match run_job(&spec, &cache, &hists) {
+        let first = match run_job(&spec, &cache, &hists, Parallelism::serial()) {
             JobCompletion::Done(out) => out,
             other => panic!("first run: {:?}", other.state()),
         };
@@ -324,7 +383,7 @@ mod tests {
             .expect("cached slices file");
         std::fs::write(&slices, "preexec-slices version=2 checksum=0000000000000000\ngarbage\n")
             .expect("corrupt");
-        let again = match run_job(&spec, &cache, &hists) {
+        let again = match run_job(&spec, &cache, &hists, Parallelism::new(2)) {
             JobCompletion::Done(out) => out,
             other => panic!("rerun after corruption: {:?}", other.state()),
         };
@@ -341,7 +400,7 @@ mod tests {
         let hists = StageHists::new();
         let cfg = PipelineConfig { budget: 0, ..PipelineConfig::paper_default(1) };
         let spec = JobSpec::new("mcf", InputSet::Train, cfg).expect("spec");
-        match run_job(&spec, &cache, &hists) {
+        match run_job(&spec, &cache, &hists, Parallelism::serial()) {
             JobCompletion::Failed(e) => {
                 assert_eq!(e, preexec_experiments::PipelineError::ZeroBudget);
             }

@@ -229,3 +229,45 @@ fn daemon_serves_jobs_caches_repeats_and_shuts_down() {
     drop(conn2);
     daemon.wait_for_exit();
 }
+
+#[test]
+fn handler_threads_are_reaped_across_many_connections() {
+    // Regression test for the accept loop collecting every JoinHandle
+    // until shutdown: a long-lived daemon serving N short connections
+    // must not hold N dead handler threads. The `connections` stats
+    // gauge reports the accept loop's live-handler count after its
+    // last reap.
+    let daemon = Daemon::spawn();
+    const SHORT_LIVED: u64 = 40;
+    for _ in 0..SHORT_LIVED {
+        let mut conn = daemon.connect();
+        conn.ok(r#"{"cmd":"stats"}"#);
+        // Dropping closes the socket; the handler sees EOF and exits.
+    }
+
+    // Poll stats until the accept loop has observed the closures. Each
+    // poll is itself a fresh connection (whose accept re-runs the reap),
+    // so a small non-zero floor of live handlers is expected.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let live = loop {
+        let mut conn = daemon.connect();
+        let stats = conn.ok(r#"{"cmd":"stats"}"#);
+        let total = u64_field(&stats, &["connections", "total"]);
+        assert!(total > SHORT_LIVED, "accept loop missed connections: {total}");
+        let live = u64_field(&stats, &["connections", "live_handlers"]);
+        if live <= 4 {
+            break live;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "handlers never reaped: {live} still live after {total} connections"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    assert!(live <= 4, "{live} handlers live after {SHORT_LIVED} short connections");
+
+    let mut conn = daemon.connect();
+    conn.ok(r#"{"cmd":"shutdown"}"#);
+    drop(conn);
+    daemon.wait_for_exit();
+}

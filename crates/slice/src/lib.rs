@@ -50,7 +50,7 @@ pub mod tree;
 pub mod window;
 
 pub use error::SliceError;
-pub use forest::{SliceForest, SliceForestBuilder};
+pub use forest::{DeferredForest, PendingTree, SliceForest, SliceForestBuilder};
 pub use io::{read_forest, read_forest_lenient, write_forest, ParseForestError, RecoveredForest};
 pub use tree::{NodeId, SliceNode, SliceTree};
 pub use window::{SliceEntry, SliceWindow};

@@ -9,7 +9,7 @@ use preexec_isa::reg::NUM_REGS;
 use preexec_isa::{Inst, Op, OpClass, Pc, Program};
 use preexec_mem::Memory;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
 /// What the p-threads are allowed to do — the paper's validation modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,7 +81,7 @@ pub struct SimResult {
     /// (their prior prefetches remain — squash is recovery, not rollback).
     pub squashes: u64,
     /// Squash breakdown by reason.
-    pub squash_reasons: HashMap<SquashReason, u64>,
+    pub squash_reasons: BTreeMap<SquashReason, u64>,
     /// Whether the run hit the `max_cycles` watchdog before the program
     /// drained.
     pub timed_out: bool,
