@@ -4,9 +4,11 @@
 //! Runs one workload through trace+slice, base sim, and selection twice
 //! — once with `Parallelism::serial()`, once with `--threads N` — and
 //! emits `BENCH_pipeline.json` with per-stage timings plus the
-//! parallel stages' internal [`ParStats`] counters. The two runs are
-//! also compared for bit-identity, so every benchmark run doubles as a
-//! determinism check (DESIGN.md §11).
+//! parallel stages' internal [`ParStats`] counters and an `obs` section
+//! (the [`preexec_obs`] registry's per-stage histograms and counters,
+//! accumulated across both runs). The two runs are also compared for
+//! bit-identity, so every benchmark run doubles as a determinism check
+//! (DESIGN.md §11).
 //!
 //! Usage: `pipeline-bench [--workload NAME] [--budget B] [--threads N]
 //!         [--out PATH]`
@@ -93,6 +95,39 @@ fn par_stats_json(out: &mut String, s: &ParStats) {
         s.items,
         s.speedup()
     );
+}
+
+/// Appends the global metrics registry's view of the run: every
+/// `stage.*` latency histogram (count, total, p99 bound) plus the
+/// pipeline's counters, accumulated across both the serial and the
+/// parallel leg.
+fn obs_json(out: &mut String) {
+    let snap = preexec_obs::global().snapshot();
+    out.push_str(r#"{"stages_hist_us":{"#);
+    let mut first = true;
+    for (name, h) in snap.histograms.iter().filter(|(n, _)| n.starts_with("stage.")) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            r#""{name}":{{"count":{},"sum_us":{},"p99_us":{}}}"#,
+            h.count(),
+            h.sum_us(),
+            h.quantile_us(0.99),
+        );
+    }
+    out.push_str(r#"},"counters":{"#);
+    let mut first = true;
+    for (name, v) in &snap.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, r#""{name}":{v}"#);
+    }
+    out.push_str("}}");
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -189,12 +224,14 @@ fn run(args: &Args) -> Result<(), String> {
     par_stats_json(&mut json, &select.par_stats);
     let _ = write!(
         json,
-        r#","speedup":{{"trace_slice":{:.3},"select":{:.3},"slice_score_combined":{:.3}}},"pthreads":{}}}"#,
+        r#","speedup":{{"trace_slice":{:.3},"select":{:.3},"slice_score_combined":{:.3}}},"pthreads":{},"obs":"#,
         slice.speedup(),
         select.speedup(),
         combined,
         sel_serial.pthreads.len(),
     );
+    obs_json(&mut json);
+    json.push('}');
     json.push('\n');
     std::fs::write(&args.out, &json).map_err(|e| format!("writing {}: {e}", args.out))?;
 

@@ -119,6 +119,18 @@ fn elapsed_us(t: Instant) -> u64 {
     t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
 }
 
+/// Mirrors one call's counters into the global metrics registry
+/// (`par.calls`, `par.items`, `par.busy_us`, `par.wall_us`). Write-only:
+/// nothing here feeds back into the mapped computation, preserving the
+/// determinism contract.
+fn record_stats(stats: &ParStats) {
+    let reg = preexec_obs::global();
+    reg.counter("par.calls").inc();
+    reg.counter("par.items").add(stats.items as u64);
+    reg.counter("par.busy_us").add(stats.busy_us);
+    reg.counter("par.wall_us").add(stats.wall_us);
+}
+
 /// Ordered parallel map: applies `f` to every item and returns the
 /// results **in input order**, regardless of thread count (see the
 /// module-level determinism contract).
@@ -143,10 +155,9 @@ where
     if threads == 1 {
         let out: Vec<R> = items.iter().map(&f).collect();
         let wall = elapsed_us(started);
-        return (
-            out,
-            ParStats { wall_us: wall, busy_us: wall, threads: 1, items: items.len() },
-        );
+        let stats = ParStats { wall_us: wall, busy_us: wall, threads: 1, items: items.len() };
+        record_stats(&stats);
+        return (out, stats);
     }
 
     // Fixed chunk geometry (4 chunks per thread bounds claim overhead
@@ -198,6 +209,7 @@ where
         threads,
         items: items.len(),
     };
+    record_stats(&stats);
     (out, stats)
 }
 

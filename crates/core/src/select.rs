@@ -250,6 +250,7 @@ pub fn select_pthreads_stats(
     par: Parallelism,
 ) -> (Selection, ParStats) {
     params.validate();
+    let obs = preexec_obs::global();
     let trees: Vec<(Pc, &SliceTree)> = forest.trees().collect();
 
     // Stage 1 — score every candidate. The fan-out is flat over
@@ -260,10 +261,13 @@ pub fn select_pthreads_stats(
         .enumerate()
         .flat_map(|(ti, (_, tree))| (1..tree.len()).map(move |node| (ti, node)))
         .collect();
+    obs.counter("select.candidates").add(score_items.len() as u64);
+    let score_span = obs.span("stage.score");
     let (flat_scores, mut pstats) = par::map_stats(par, &score_items, |&(ti, node)| {
         let (_, tree) = trees[ti];
         score_node(tree, node, forest.dc_trig(tree.node(node).pc), params)
     });
+    score_span.finish();
     let mut scores: Vec<Vec<Option<ScoredCandidate>>> =
         trees.iter().map(|(_, tree)| vec![None; tree.len()]).collect();
     for ((ti, node), sc) in score_items.into_iter().zip(flat_scores) {
@@ -273,9 +277,11 @@ pub fn select_pthreads_stats(
     // Stage 2 — per-tree overlap fixed points (independent sub-problems
     // per the paper's §3.2 decomposition).
     let tree_indices: Vec<usize> = (0..trees.len()).collect();
+    let solve_span = obs.span("stage.solve");
     let (all_picks, solve_stats) = par::map_stats(par, &tree_indices, |&ti| {
         solve_tree_scored(trees[ti].1, &scores[ti])
     });
+    solve_span.finish();
     pstats.absorb(&solve_stats);
 
     // Stage 3 — serial fold in tree order: the floating-point
@@ -336,12 +342,15 @@ pub fn select_pthreads_stats(
     }
 
     if params.merge {
+        let merge_span = obs.span("stage.merge");
         let before_oh: f64 = pthreads.iter().map(|p| p.advantage.oh_agg).sum();
         pthreads = merge_pthreads(pthreads, params);
         let after_oh: f64 = pthreads.iter().map(|p| p.advantage.oh_agg).sum();
         adv_agg += before_oh - after_oh;
         oh_agg = after_oh;
+        merge_span.finish();
     }
+    obs.counter("select.pthreads").add(pthreads.len() as u64);
 
     let launches: u64 = pthreads.iter().map(|p| p.dc_trig).sum();
     let weighted_len: f64 = pthreads

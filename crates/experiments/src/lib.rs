@@ -37,7 +37,8 @@ pub mod tables;
 
 pub use error::PipelineError;
 pub use pipeline::{
-    run_pipeline, trace_and_slice, trace_and_slice_warm, try_base_sim, try_run_pipeline,
+    run_pipeline, trace_and_slice, trace_and_slice_warm, try_assisted_sim, try_base_sim,
+    try_run_pipeline,
     try_run_pipeline_par, try_run_pipeline_with_artifacts, try_run_pipeline_with_artifacts_par,
     try_select, try_select_par, try_trace_and_slice_warm, try_trace_and_slice_warm_par,
     PipelineConfig, PipelineParStats, PipelineResult,

@@ -205,8 +205,13 @@ pub fn try_trace_and_slice_warm(
     warmup: u64,
 ) -> Result<(SliceForest, RunStats), PipelineError> {
     let mut builder = SliceForestBuilder::try_new(scope, max_slice_len)?;
+    let trace_span = preexec_obs::global().span("stage.trace");
     let stats = trace_into_builder(program, &mut builder, budget, warmup)?;
-    Ok((builder.finish(), stats))
+    trace_span.finish();
+    let build_span = preexec_obs::global().span("stage.slice_build");
+    let forest = builder.finish();
+    build_span.finish();
+    Ok((forest, stats))
 }
 
 /// [`try_trace_and_slice_warm`] with parallel slice-tree construction:
@@ -237,10 +242,15 @@ pub fn try_trace_and_slice_warm_par(
         return Ok((forest, stats, ParStats { threads: 1, ..ParStats::default() }));
     }
     let mut builder = SliceForestBuilder::try_new_deferred(scope, max_slice_len)?;
+    let trace_span = preexec_obs::global().span("stage.trace");
     let stats = trace_into_builder(program, &mut builder, budget, warmup)?;
     let deferred = builder.finish_deferred();
+    trace_span.finish();
+    let build_span = preexec_obs::global().span("stage.slice_build");
     let (trees, pstats) = par::map_stats(par, deferred.pending(), PendingTree::build);
-    Ok((deferred.assemble(trees), stats, pstats))
+    let forest = deferred.assemble(trees);
+    build_span.finish();
+    Ok((forest, stats, pstats))
 }
 
 /// The serial trace loop shared by the immediate and deferred slicing
@@ -385,7 +395,25 @@ pub fn try_base_sim(
     program: &Program,
     cfg: &PipelineConfig,
 ) -> Result<SimResult, PipelineError> {
+    let _span = preexec_obs::global().span("stage.base_sim");
     try_sim(program, &[], cfg, SimMode::Normal)
+}
+
+/// Stage: the p-thread-assisted timing run. Equivalent to [`try_sim`]
+/// with the selection's p-threads in [`SimMode::Normal`]; the named
+/// wrapper exists so both the monolithic pipeline and the batch service
+/// time the stage under the same `stage.assisted_sim` span.
+///
+/// # Errors
+///
+/// Same as [`try_sim`].
+pub fn try_assisted_sim(
+    program: &Program,
+    pthreads: &[StaticPThread],
+    cfg: &PipelineConfig,
+) -> Result<SimResult, PipelineError> {
+    let _span = preexec_obs::global().span("stage.assisted_sim");
+    try_sim(program, pthreads, cfg, SimMode::Normal)
 }
 
 /// Stage: p-thread selection against a slice forest and a measured base
@@ -465,9 +493,10 @@ pub fn try_run_pipeline_with_artifacts_par(
     par: Parallelism,
 ) -> Result<(PipelineResult, ParStats), PipelineError> {
     cfg.try_validate()?;
+    preexec_obs::global().counter("pipeline.runs").inc();
     let base = try_base_sim(program, cfg)?;
     let (selection, pstats) = try_select_par(forest, cfg, base.ipc(), par)?;
-    let assisted = try_sim(program, &selection.pthreads, cfg, SimMode::Normal)?;
+    let assisted = try_assisted_sim(program, &selection.pthreads, cfg)?;
     Ok((PipelineResult { stats, base, selection, assisted }, pstats))
 }
 

@@ -1,0 +1,68 @@
+//! Property tests for the histogram's quantile contract: for any set of
+//! recorded samples and any q, `quantile_us(q)` must be an upper bound of
+//! the true q-quantile — including samples in the saturating top bucket,
+//! which is exactly where the pre-fix implementation violated it.
+
+use preexec_obs::Histogram;
+use proptest::prelude::*;
+
+/// The true q-quantile: the smallest sample `v` such that at least
+/// `ceil(q * n)` samples are `<= v`.
+fn true_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+/// Samples spanning every regime: sub-µs, ordinary latencies, the
+/// saturating top bucket, and the extremes.
+fn sample_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(u64::MAX),
+        0u64..4096,
+        1u64..1_000_000_000,
+        (1u64 << 38)..(1u64 << 42),
+        (u64::MAX - 1_000_000)..u64::MAX,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn quantile_bounds_the_true_quantile(
+        samples in prop::collection::vec(sample_strategy(), 1..64),
+        q_pct in 0u32..101,
+    ) {
+        let q = f64::from(q_pct) / 100.0;
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record_us(s);
+        }
+        let bound = h.quantile_us(q);
+        let truth = true_quantile(&samples, q);
+        prop_assert!(
+            bound >= truth,
+            "quantile_us({q}) = {bound} < true quantile {truth} for {samples:?}"
+        );
+        // And the bound never exceeds the data (the other half of the fix).
+        let max = samples.iter().copied().max().unwrap_or(0);
+        prop_assert!(
+            bound <= max,
+            "quantile_us({q}) = {bound} exceeds max sample {max} for {samples:?}"
+        );
+    }
+
+    #[test]
+    fn full_quantile_always_covers_the_max_sample(
+        samples in prop::collection::vec(sample_strategy(), 1..64),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record_us(s);
+        }
+        prop_assert_eq!(h.quantile_us(1.0), h.max_us());
+    }
+}

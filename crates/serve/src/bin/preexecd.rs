@@ -26,6 +26,7 @@ protocol: one JSON object per line, e.g.
   {\"cmd\":\"submit\",\"workload\":\"vpr.r\",\"budget\":120000}
   {\"cmd\":\"status\",\"job\":1}   {\"cmd\":\"result\",\"job\":1}
   {\"cmd\":\"stats\"}             {\"cmd\":\"shutdown\"}
+  {\"cmd\":\"metrics\"}           full metrics registry (JSON + Prometheus text)
 ";
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {

@@ -3,8 +3,8 @@
 //! reads the file and generates p-thread sets for several machine
 //! configurations quickly, without re-tracing.
 //!
-//! Usage: `toolflow [--jobs N] [--threads N] [workload[,workload...]|all] [budget] [out.slices]`
-//!        `toolflow [--threads N] --read <file.slices>` (selection only, no re-tracing)
+//! Usage: `toolflow [--jobs N] [--threads N] [--profile] [workload[,workload...]|all] [budget] [out.slices]`
+//!        `toolflow [--threads N] [--profile] --read <file.slices>` (selection only, no re-tracing)
 //!
 //! With several workloads the runs are scheduled over `--jobs N` worker
 //! threads (default 1). Output is buffered per workload and printed in
@@ -18,6 +18,12 @@
 //! serial (DESIGN.md §11) — so the two knobs compose freely:
 //! `--jobs` trades throughput across workloads, `--threads` latency
 //! within one.
+//!
+//! `--profile` prints a per-stage wall-clock profile table (count, total,
+//! mean, p50/p99 bounds, max — from the [`preexec_obs`] registry) to
+//! *stderr* after the run. stdout is byte-identical with and without the
+//! flag; the observability layer records but never feeds back into the
+//! analysis.
 //!
 //! Exit codes:
 //!
@@ -76,10 +82,12 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<u8, Failure> {
     let mut jobs: usize = 1;
     let mut threads: usize = 1;
+    let mut profile = false;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--profile" => profile = true,
             "--jobs" => {
                 let v = it
                     .next()
@@ -112,6 +120,9 @@ fn run(args: &[String]) -> Result<u8, Failure> {
                 read_and_select(path, &text, Parallelism::new(threads), &mut report);
                 print!("{}", report.stdout);
                 eprint!("{}", report.stderr);
+                if profile {
+                    print_profile();
+                }
                 return Ok(report.code);
             }
             other if other.starts_with("--") => {
@@ -189,7 +200,54 @@ fn run(args: &[String]) -> Result<u8, Failure> {
         }
     }
     sched.shutdown();
+    if profile {
+        print_profile();
+    }
     Ok(first_bad)
+}
+
+/// Prints the per-stage wall-clock profile from the global metrics
+/// registry to stderr. Reading the registry here — after all analysis
+/// work has finished — keeps the no-perturbation contract: stdout (the
+/// results) is identical with or without `--profile`.
+fn print_profile() {
+    let snap = preexec_obs::global().snapshot();
+    eprintln!("toolflow profile (wall clock per stage):");
+    eprintln!(
+        "  {:<20} {:>7} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "count", "total_ms", "mean_ms", "p50_ms", "p99_ms", "max_ms"
+    );
+    let ms = |us: u64| us as f64 / 1000.0;
+    for (name, h) in snap.histograms.iter().filter(|(n, _)| n.starts_with("stage.")) {
+        eprintln!(
+            "  {:<20} {:>7} {:>12.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            name,
+            h.count(),
+            ms(h.sum_us()),
+            h.mean_us() / 1000.0,
+            ms(h.quantile_us(0.5)),
+            ms(h.quantile_us(0.99)),
+            ms(h.max_us()),
+        );
+    }
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    eprintln!(
+        "  par: calls={} items={} busy_us={} wall_us={}",
+        counter("par.calls"),
+        counter("par.items"),
+        counter("par.busy_us"),
+        counter("par.wall_us"),
+    );
+    eprintln!(
+        "  select: candidates={} pthreads={}",
+        counter("select.candidates"),
+        counter("select.pthreads"),
+    );
 }
 
 /// Runs one workload end to end (pass 1 trace+write, pass 2

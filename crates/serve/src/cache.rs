@@ -28,11 +28,13 @@
 
 use crate::json::Json;
 use preexec_func::{LoadSiteStats, RunStats};
+use preexec_obs::{Counter, Journal, Registry};
 use preexec_slice::{read_forest_lenient, write_forest, SliceForest};
 use preexec_workloads::InputSet;
+use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Everything the trace+slice stage depends on: the cache key.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,8 +126,8 @@ impl CacheStats {
 }
 
 /// The on-disk artifact cache. Thread-safe: lookups and stores touch
-/// independent files and the counters are atomic, so workers share one
-/// instance behind an [`Arc`](std::sync::Arc) without locking.
+/// independent files and the counters are registry-backed atomics, so
+/// workers share one instance behind an [`Arc`] without locking.
 #[derive(Debug)]
 pub struct ArtifactCache {
     dir: PathBuf,
@@ -133,25 +135,43 @@ pub struct ArtifactCache {
     /// How old a `.tmp` staging file must be before an eviction scan
     /// treats it as an orphan (a live writer renames within moments).
     tmp_grace: std::time::Duration,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    corrupt: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    corrupt: Arc<Counter>,
+    orphan_stats: Arc<Counter>,
+    journal: Arc<Journal>,
 }
 
 impl ArtifactCache {
     /// Creates a cache rooted at `dir`, holding at most `max_entries`
-    /// entries (oldest evicted first). No filesystem work happens here —
-    /// the directory is created lazily by the first [`store`](Self::store).
+    /// entries (oldest evicted first), counting into the process-wide
+    /// [`preexec_obs::global`] registry (`cache.hits`, `cache.misses`,
+    /// `cache.evictions`, `cache.corrupt`, `cache.orphan_stats`). No
+    /// filesystem work happens here — the directory is created lazily by
+    /// the first [`store`](Self::store).
     pub fn new(dir: impl Into<PathBuf>, max_entries: usize) -> ArtifactCache {
+        ArtifactCache::with_registry(dir, max_entries, preexec_obs::global())
+    }
+
+    /// [`new`](Self::new) counting into a caller-supplied registry —
+    /// tests asserting exact counts use a private registry so parallel
+    /// tests in the same process cannot pollute each other.
+    pub fn with_registry(
+        dir: impl Into<PathBuf>,
+        max_entries: usize,
+        registry: &Registry,
+    ) -> ArtifactCache {
         ArtifactCache {
             dir: dir.into(),
             max_entries: max_entries.max(1),
             tmp_grace: std::time::Duration::from_secs(60),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            corrupt: AtomicU64::new(0),
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            evictions: registry.counter("cache.evictions"),
+            corrupt: registry.counter("cache.corrupt"),
+            orphan_stats: registry.counter("cache.orphan_stats"),
+            journal: registry.journal(),
         }
     }
 
@@ -175,11 +195,11 @@ impl ArtifactCache {
     pub fn load(&self, key: &TraceKey) -> Option<(SliceForest, RunStats)> {
         match self.try_load(key) {
             Some(artifacts) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(artifacts)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -194,7 +214,11 @@ impl ArtifactCache {
         // partially recovered forest would silently change selections.
         let recovered = read_forest_lenient(&text);
         if !recovered.is_clean() {
-            self.corrupt.fetch_add(1, Ordering::Relaxed);
+            self.corrupt.inc();
+            self.journal.note(
+                "cache_corrupt",
+                &format!("slice file failed clean parse: {}", slices_path.display()),
+            );
             let _ = std::fs::remove_file(&slices_path);
             let _ = std::fs::remove_file(self.stats_path(key));
             return None;
@@ -203,7 +227,11 @@ impl ArtifactCache {
         let stats = match Json::parse(&stats_text).ok().and_then(|j| stats_from_json(&j)) {
             Some(s) => s,
             None => {
-                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.corrupt.inc();
+                self.journal.note(
+                    "cache_corrupt",
+                    &format!("stats file failed to parse: {}", self.stats_path(key).display()),
+                );
                 let _ = std::fs::remove_file(&slices_path);
                 let _ = std::fs::remove_file(self.stats_path(key));
                 return None;
@@ -234,15 +262,20 @@ impl ArtifactCache {
 
     /// Removes the oldest entries (by modification time, ties broken by
     /// path so concurrent scans agree on the victim) until at most
-    /// `max_entries` remain. The same scan sweeps `.tmp` staging files
-    /// orphaned by a crashed writer — those would otherwise accumulate
-    /// forever, invisible to the entry count.
+    /// `max_entries` remain. The same scan sweeps two kinds of debris
+    /// that would otherwise accumulate forever, invisible to the entry
+    /// count: `.tmp` staging files orphaned by a crashed writer, and
+    /// `.stats` files whose `.slices` sibling is gone (corrupt-read
+    /// cleanup or a partially-completed eviction removes the pair
+    /// non-atomically).
     fn evict_excess(&self) {
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return;
         };
         let now = std::time::SystemTime::now();
         let mut slices: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        let mut slices_seen: HashSet<PathBuf> = HashSet::new();
+        let mut stats_seen: Vec<PathBuf> = Vec::new();
         for e in entries.flatten() {
             let path = e.path();
             let mtime = e.metadata().and_then(|m| m.modified()).ok();
@@ -256,9 +289,23 @@ impl ArtifactCache {
                     let _ = std::fs::remove_file(&path);
                 }
             } else if path.extension().is_some_and(|x| x == "slices") {
+                slices_seen.insert(path.clone());
                 if let Some(mtime) = mtime {
                     slices.push((mtime, path));
                 }
+            } else if path.extension().is_some_and(|x| x == "stats") {
+                stats_seen.push(path);
+            }
+        }
+        // `.stats` with no `.slices` sibling is unreachable (load reads
+        // the slices first) and uncounted (the entry count enumerates
+        // `.slices`). No grace period is needed: store writes `.slices`
+        // before `.stats`, so a live writer's half-written entry is the
+        // slices-without-stats case, never this one.
+        for path in stats_seen {
+            if !slices_seen.contains(&path.with_extension("slices")) {
+                let _ = std::fs::remove_file(&path);
+                self.orphan_stats.inc();
             }
         }
         if slices.len() <= self.max_entries {
@@ -272,17 +319,17 @@ impl ArtifactCache {
         for (_, path) in slices.into_iter().take(excess) {
             let _ = std::fs::remove_file(&path);
             let _ = std::fs::remove_file(path.with_extension("stats"));
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
     }
 
     /// A snapshot of the hit/miss/eviction/corruption counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            corrupt: self.corrupt.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            corrupt: self.corrupt.get(),
         }
     }
 }
@@ -373,6 +420,15 @@ mod tests {
         dir
     }
 
+    /// A cache counting into its own registry: tests in this binary run
+    /// concurrently, so exact-count assertions need isolation from the
+    /// global registry.
+    fn isolated_cache(dir: &Path, max_entries: usize) -> (ArtifactCache, Registry) {
+        let registry = Registry::new();
+        let cache = ArtifactCache::with_registry(dir, max_entries, &registry);
+        (cache, registry)
+    }
+
     fn sample_artifacts() -> (SliceForest, RunStats) {
         let p = preexec_isa::assemble(
             "t",
@@ -417,7 +473,7 @@ mod tests {
     #[test]
     fn store_then_load_round_trips() {
         let dir = tmp_dir("round-trip");
-        let cache = ArtifactCache::new(&dir, 8);
+        let (cache, _) = isolated_cache(&dir, 8);
         let (forest, stats) = sample_artifacts();
         let k = key("vpr.r");
         assert!(cache.load(&k).is_none(), "cold cache must miss");
@@ -437,7 +493,7 @@ mod tests {
     #[test]
     fn corrupt_entry_is_a_counted_miss_not_a_failure() {
         let dir = tmp_dir("corrupt");
-        let cache = ArtifactCache::new(&dir, 8);
+        let (cache, registry) = isolated_cache(&dir, 8);
         let (forest, stats) = sample_artifacts();
         let k = key("vpr.r");
         cache.store(&k, &forest, &stats).expect("store");
@@ -447,6 +503,12 @@ mod tests {
         std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
         assert!(cache.load(&k).is_none(), "corrupt entry must miss");
         assert_eq!(cache.stats().corrupt, 1);
+        // The corruption is journaled for the metrics verb.
+        let events = registry.journal().recent();
+        assert!(
+            events.iter().any(|e| e.kind == "cache_corrupt"),
+            "corruption must be journaled, got {events:?}"
+        );
         // The bad entry was removed; a fresh store works and hits again.
         cache.store(&k, &forest, &stats).expect("re-store");
         assert!(cache.load(&k).is_some());
@@ -456,7 +518,7 @@ mod tests {
     #[test]
     fn corrupt_stats_file_also_misses() {
         let dir = tmp_dir("corrupt-stats");
-        let cache = ArtifactCache::new(&dir, 8);
+        let (cache, _) = isolated_cache(&dir, 8);
         let (forest, stats) = sample_artifacts();
         let k = key("gap");
         cache.store(&k, &forest, &stats).expect("store");
@@ -469,7 +531,7 @@ mod tests {
     #[test]
     fn eviction_bounds_the_entry_count() {
         let dir = tmp_dir("evict");
-        let cache = ArtifactCache::new(&dir, 2);
+        let (cache, _) = isolated_cache(&dir, 2);
         let (forest, stats) = sample_artifacts();
         for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
             let mut k = key(name);
@@ -489,7 +551,7 @@ mod tests {
     #[test]
     fn eviction_scan_sweeps_orphaned_tmp_files() {
         let dir = tmp_dir("tmp-orphans");
-        let mut cache = ArtifactCache::new(&dir, 8);
+        let (mut cache, _) = isolated_cache(&dir, 8);
         let (forest, stats) = sample_artifacts();
         cache.store(&key("a"), &forest, &stats).expect("store");
         // A staging file a crashed writer left behind.
@@ -505,6 +567,32 @@ mod tests {
         assert!(!orphan.exists(), "orphaned .tmp survived the scan");
         // Real entries are untouched (no spurious evictions either).
         assert!(cache.load(&key("a")).is_some());
+        assert_eq!(cache.stats().evictions, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphaned_stats_files_are_swept_on_the_next_store() {
+        let dir = tmp_dir("stats-orphans");
+        let (cache, registry) = isolated_cache(&dir, 8);
+        let (forest, stats) = sample_artifacts();
+        cache.store(&key("a"), &forest, &stats).expect("store");
+        // Simulate a partially-completed eviction / corrupt-read cleanup:
+        // the `.slices` half of an entry is gone, its `.stats` survives.
+        let k = key("victim");
+        cache.store(&k, &forest, &stats).expect("store");
+        std::fs::remove_file(cache.slices_path(&k)).expect("drop slices half");
+        assert!(cache.stats_path(&k).exists());
+        // The next store's eviction scan sweeps the orphan.
+        cache.store(&key("b"), &forest, &stats).expect("store");
+        assert!(
+            !cache.stats_path(&k).exists(),
+            "orphaned .stats survived the eviction scan"
+        );
+        assert_eq!(registry.counter("cache.orphan_stats").get(), 1);
+        // Intact entries keep both halves and still hit.
+        assert!(cache.load(&key("a")).is_some());
+        assert!(cache.load(&key("b")).is_some());
         assert_eq!(cache.stats().evictions, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }

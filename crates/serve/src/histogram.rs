@@ -1,105 +1,32 @@
-//! Power-of-two latency histograms for the service's `stats` report.
+//! Latency-histogram serialization for the service's `stats` report.
 //!
-//! Each pipeline stage (trace, base sim, selection, assisted sim) gets
-//! one histogram; workers record wall-clock stage durations and the wire
-//! front end serializes the whole set. Buckets double in width so the
-//! histogram spans microseconds to minutes in a fixed 40-slot array with
-//! no allocation on the record path.
+//! The histogram type itself lives in [`preexec_obs`] (it serves every
+//! layer, not just the service) and is re-exported here; this module
+//! keeps the wire-format concern — rendering one histogram as the JSON
+//! shape the `stats`/`metrics` verbs report.
+
+pub use preexec_obs::Histogram;
 
 use crate::json::Json;
-use std::time::Duration;
 
-/// Number of power-of-two buckets: bucket `i` counts samples in
-/// `[2^i, 2^(i+1))` microseconds (bucket 0 also absorbs sub-microsecond
-/// samples, the last bucket absorbs everything beyond ~2^39 µs ≈ 6 days).
-const BUCKETS: usize = 40;
-
-/// A latency histogram with power-of-two microsecond buckets.
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    buckets: [u64; BUCKETS],
-    count: u64,
-    sum_us: u64,
-    max_us: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Histogram {
-        Histogram::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Histogram {
-        Histogram { buckets: [0; BUCKETS], count: 0, sum_us: 0, max_us: 0 }
-    }
-
-    /// Records one sample of `us` microseconds.
-    pub fn record_us(&mut self, us: u64) {
-        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum_us = self.sum_us.saturating_add(us);
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Records one duration sample.
-    pub fn record(&mut self, d: Duration) {
-        self.record_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean sample, in microseconds (0 when empty).
-    pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_us as f64 / self.count as f64
-        }
-    }
-
-    /// An upper bound below which at least `q` (0..=1) of the samples
-    /// fall, from the bucket boundaries (0 when empty). With power-of-two
-    /// buckets this is at most 2× the true quantile.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if n > 0 && seen >= target.max(1) {
-                return 1u64 << (i + 1);
-            }
-        }
-        self.max_us
-    }
-
-    /// Serializes the histogram: count, mean, p50/p99 bounds, max, and
-    /// the non-empty buckets as `[lower-bound-µs, count]` pairs.
-    pub fn to_json(&self) -> Json {
-        let buckets: Vec<Json> = self
-            .buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &n)| n > 0)
-            .map(|(i, &n)| Json::Arr(vec![Json::num_u64(1u64 << i), Json::num_u64(n)]))
-            .collect();
-        Json::obj(vec![
-            ("count", Json::num_u64(self.count)),
-            ("mean_us", Json::Num(self.mean_us())),
-            ("p50_us", Json::num_u64(self.quantile_us(0.5))),
-            ("p99_us", Json::num_u64(self.quantile_us(0.99))),
-            ("max_us", Json::num_u64(self.max_us)),
-            ("buckets_us", Json::Arr(buckets)),
-        ])
-    }
+/// Serializes a histogram: count, mean, p50/p99 bounds, max, and the
+/// non-empty buckets as `[lower-bound-µs, count]` pairs. Bucket 0's lower
+/// bound is `0` (it absorbs sub-µs samples) and every quantile bound is
+/// clamped to `max_us` — see [`Histogram::quantile_us`].
+pub fn histogram_json(h: &Histogram) -> Json {
+    let buckets: Vec<Json> = h
+        .nonzero_buckets()
+        .into_iter()
+        .map(|(lower, n)| Json::Arr(vec![Json::num_u64(lower), Json::num_u64(n)]))
+        .collect();
+    Json::obj(vec![
+        ("count", Json::num_u64(h.count())),
+        ("mean_us", Json::Num(h.mean_us())),
+        ("p50_us", Json::num_u64(h.quantile_us(0.5))),
+        ("p99_us", Json::num_u64(h.quantile_us(0.99))),
+        ("max_us", Json::num_u64(h.max_us())),
+        ("buckets_us", Json::Arr(buckets)),
+    ])
 }
 
 #[cfg(test)]
@@ -107,39 +34,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn records_into_power_of_two_buckets() {
+    fn serializes_count_quantiles_and_buckets() {
         let mut h = Histogram::new();
         for us in [0, 1, 2, 3, 4, 1000, 1_000_000] {
             h.record_us(us);
         }
-        assert_eq!(h.count(), 7);
-        assert!(h.mean_us() > 0.0);
-        let json = h.to_json();
+        let json = histogram_json(&h);
         assert_eq!(json.get("count").and_then(Json::as_u64), Some(7));
         assert_eq!(json.get("max_us").and_then(Json::as_u64), Some(1_000_000));
         // 0 and 1 share bucket 0; 2 and 3 share bucket 1; 4 is bucket 2.
         let buckets = json.get("buckets_us").and_then(Json::as_arr).expect("buckets");
         assert_eq!(buckets.len(), 5);
+        // Bucket 0's lower bound is 0, not 1: it absorbs 0-µs samples.
+        let first = buckets[0].as_arr().expect("pair");
+        assert_eq!(first[0].as_u64(), Some(0));
+        assert_eq!(first[1].as_u64(), Some(2));
     }
 
     #[test]
-    fn quantiles_bound_the_samples() {
+    fn serialized_quantiles_respect_the_max() {
         let mut h = Histogram::new();
-        for _ in 0..99 {
-            h.record_us(10);
-        }
-        h.record_us(100_000);
-        assert!(h.quantile_us(0.5) >= 10);
-        assert!(h.quantile_us(0.5) <= 32);
-        assert!(h.quantile_us(1.0) >= 100_000);
-        assert_eq!(Histogram::new().quantile_us(0.5), 0);
-    }
-
-    #[test]
-    fn giant_samples_saturate() {
-        let mut h = Histogram::new();
-        h.record(Duration::from_secs(1_000_000));
         h.record_us(u64::MAX);
-        assert_eq!(h.count(), 2);
+        let json = histogram_json(&h);
+        // Pre-fix this reported 2^40; the bound must cover the sample.
+        // (`as_f64`: values past 2^53 exceed `as_u64`'s precision guard.)
+        assert_eq!(json.get("p99_us").and_then(Json::as_f64), Some(u64::MAX as f64));
+        assert_eq!(json.get("max_us").and_then(Json::as_f64), Some(u64::MAX as f64));
     }
 }

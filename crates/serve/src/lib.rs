@@ -17,8 +17,15 @@
 //! - [`proto`] + [`json`] — a newline-delimited JSON wire protocol over
 //!   a hand-rolled, dependency-free JSON module;
 //! - [`server`] — the `preexecd` TCP front end tying it all together;
-//! - [`histogram`] — power-of-two-bucket latency histograms backing the
-//!   `stats` report.
+//! - [`histogram`] — JSON serialization for the power-of-two-bucket
+//!   latency histograms of [`preexec_obs`], backing the `stats` and
+//!   `metrics` reports.
+//!
+//! Observability: every layer records into the process-wide
+//! [`preexec_obs`] registry (stage latencies, cache hit/miss/eviction
+//! counters, scheduler gauges, an event journal). The daemon exposes the
+//! full registry through the `metrics` verb as JSON plus a
+//! Prometheus-style text rendering.
 //!
 //! Two binaries ship with the crate: `preexecd` (the daemon) and
 //! `toolflow` (the batch CLI, which runs its workloads through the same
@@ -39,7 +46,7 @@ pub mod server;
 pub mod service;
 
 pub use cache::{ArtifactCache, CacheStats, TraceKey};
-pub use histogram::Histogram;
+pub use histogram::{histogram_json, Histogram};
 pub use json::Json;
 pub use proto::{parse_request, Request};
 pub use scheduler::{

@@ -9,6 +9,7 @@
 //! | `status` | `job` | `state` (+ `error` when failed) |
 //! | `result` | `job` | `state`, `cache_hit`, `result{...}` |
 //! | `stats` | — | queue/worker/cache/stage-latency report |
+//! | `metrics` | — | full metrics registry: `counters`, `gauges`, `histograms`, `events`, plus a Prometheus-style `prometheus` text rendering |
 //! | `shutdown` | — | `shutting_down: true`, then the daemon drains |
 //!
 //! Submit fields default to [`PipelineConfig::paper_default`] at the
@@ -37,6 +38,8 @@ pub enum Request {
     Result(JobId),
     /// Report service-wide statistics.
     Stats,
+    /// Report the full metrics registry (JSON + Prometheus text).
+    Metrics,
     /// Drain and exit.
     Shutdown,
 }
@@ -59,9 +62,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "status" => job_id(&json).map(Request::Status),
         "result" => job_id(&json).map(Request::Result),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown cmd `{other}` (expected submit, status, result, stats, or shutdown)"
+            "unknown cmd `{other}` (expected submit, status, result, stats, metrics, or shutdown)"
         )),
     }
 }
@@ -237,6 +241,7 @@ mod tests {
             Ok(Request::Result(9))
         ));
         assert!(matches!(parse_request(r#"{"cmd":"stats"}"#), Ok(Request::Stats)));
+        assert!(matches!(parse_request(r#"{"cmd":"metrics"}"#), Ok(Request::Metrics)));
         assert!(matches!(parse_request(r#"{"cmd":"shutdown"}"#), Ok(Request::Shutdown)));
     }
 

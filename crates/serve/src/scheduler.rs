@@ -250,7 +250,11 @@ impl<T: Send + 'static> Scheduler<T> {
         st.next_id += 1;
         st.records.insert(id, Record::Queued);
         st.queue.push_back((id, job));
+        let depth = st.queue.len();
         drop(st);
+        let reg = preexec_obs::global();
+        reg.counter("sched.submitted").inc();
+        reg.gauge("sched.queue_depth").set(depth as i64);
         self.inner.work_cv.notify_one();
         Ok(id)
     }
@@ -336,6 +340,9 @@ fn worker_loop<T: Send + 'static>(inner: &SchedInner<T>) {
         if let Some((id, job)) = st.queue.pop_front() {
             st.records.insert(id, Record::Running);
             st.busy += 1;
+            let reg = preexec_obs::global();
+            reg.gauge("sched.queue_depth").set(st.queue.len() as i64);
+            reg.gauge("sched.running").set(st.busy as i64);
             drop(st);
             // The job runs without the lock; a panic is converted into a
             // terminal record so the pool and the job's waiters survive.
@@ -343,6 +350,21 @@ fn worker_loop<T: Send + 'static>(inner: &SchedInner<T>) {
                 Ok(c) => c,
                 Err(payload) => JobCompletion::Panicked(panic_message(payload.as_ref())),
             };
+            // Registry mirror + journal note before taking the lock back
+            // (both are internally synchronized).
+            match &completion {
+                JobCompletion::Done(_) => reg.counter("sched.done").inc(),
+                JobCompletion::TimedOut(_) => reg.counter("sched.timed_out").inc(),
+                JobCompletion::Failed(e) => {
+                    reg.counter("sched.failed").inc();
+                    reg.journal().note("job_failed", &format!("job {id}: {e}"));
+                }
+                JobCompletion::Panicked(msg) => {
+                    reg.counter("sched.failed").inc();
+                    reg.counter("sched.panicked").inc();
+                    reg.journal().note("job_panicked", &format!("job {id}: {msg}"));
+                }
+            }
             st = lock(&inner.state);
             match completion.state() {
                 JobState::Done => st.done += 1,
@@ -352,6 +374,7 @@ fn worker_loop<T: Send + 'static>(inner: &SchedInner<T>) {
             }
             st.records.insert(id, Record::Finished(completion));
             st.busy -= 1;
+            reg.gauge("sched.running").set(st.busy as i64);
             inner.done_cv.notify_all();
         } else if !st.accepting {
             return;

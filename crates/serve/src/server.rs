@@ -14,15 +14,17 @@
 //! [`Server::run`] returns.
 
 use crate::cache::ArtifactCache;
+use crate::histogram::histogram_json;
 use crate::json::Json;
 use crate::proto::{error_response, ok_response, parse_request, result_json, Request};
 use crate::scheduler::{JobCompletion, Scheduler, SubmitError};
 use crate::service::{run_job, JobOutput, StageHists};
 use preexec_core::par::Parallelism;
+use preexec_obs::{render_prometheus, Counter, Gauge};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -71,11 +73,13 @@ struct Shared {
     queue_cap: usize,
     /// Resolved intra-job thread count handed to every [`run_job`].
     job_threads: usize,
-    /// Connections accepted over the daemon's life.
-    connections_total: AtomicU64,
+    /// Connections accepted over the daemon's life (registry counter
+    /// `server.connections`).
+    connections_total: Arc<Counter>,
     /// Live handler threads after the accept loop's last reap — the
-    /// gauge the boundedness test watches.
-    handlers_live: AtomicUsize,
+    /// gauge the boundedness test watches (registry gauge
+    /// `server.handlers_live`).
+    handlers_live: Arc<Gauge>,
 }
 
 /// A bound (but not yet serving) daemon.
@@ -108,8 +112,8 @@ impl Server {
             local_addr,
             queue_cap: config.queue_cap,
             job_threads,
-            connections_total: AtomicU64::new(0),
-            handlers_live: AtomicUsize::new(0),
+            connections_total: preexec_obs::global().counter("server.connections"),
+            handlers_live: preexec_obs::global().gauge("server.handlers_live"),
         });
         Ok(Server { listener, shared })
     }
@@ -139,10 +143,10 @@ impl Server {
             // vector tracks live connections rather than growing (and
             // holding dead threads' stacks) for the daemon's whole life.
             handlers.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
-            self.shared.connections_total.fetch_add(1, Ordering::Relaxed);
+            self.shared.connections_total.inc();
             let shared = Arc::clone(&self.shared);
             handlers.push(std::thread::spawn(move || handle_connection(stream, &shared)));
-            self.shared.handlers_live.store(handlers.len(), Ordering::Relaxed);
+            self.shared.handlers_live.set(handlers.len() as i64);
         }
         // Graceful drain: finish queued + running jobs, then collect the
         // handler threads (their read timeout notices the flag).
@@ -262,6 +266,7 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
             }
         },
         Ok(Request::Stats) => stats_response(shared),
+        Ok(Request::Metrics) => metrics_response(),
         Ok(Request::Shutdown) => {
             shared.shutting_down.store(true, Ordering::SeqCst);
             // Unblock the accept loop so `run` can proceed to the drain.
@@ -307,15 +312,48 @@ fn stats_response(shared: &Shared) -> Json {
         (
             "connections",
             Json::obj(vec![
-                (
-                    "total",
-                    Json::num_u64(shared.connections_total.load(Ordering::Relaxed)),
-                ),
+                ("total", Json::num_u64(shared.connections_total.get())),
                 (
                     "live_handlers",
-                    Json::num_u64(shared.handlers_live.load(Ordering::Relaxed) as u64),
+                    Json::num_u64(shared.handlers_live.get().max(0) as u64),
                 ),
             ]),
         ),
+    ])
+}
+
+/// The `metrics` payload: the full global registry as JSON plus a
+/// Prometheus-style text rendering of the same snapshot.
+fn metrics_response() -> Json {
+    let snap = preexec_obs::global().snapshot();
+    let counters = Json::Obj(
+        snap.counters.iter().map(|(name, v)| (name.clone(), Json::num_u64(*v))).collect(),
+    );
+    let gauges = Json::Obj(
+        snap.gauges.iter().map(|(name, v)| (name.clone(), Json::Num(*v as f64))).collect(),
+    );
+    let histograms = Json::Obj(
+        snap.histograms.iter().map(|(name, h)| (name.clone(), histogram_json(h))).collect(),
+    );
+    let events = Json::Arr(
+        snap.events
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("seq", Json::num_u64(e.seq)),
+                    ("unix_ms", Json::num_u64(e.unix_ms)),
+                    ("kind", Json::str(e.kind.clone())),
+                    ("message", Json::str(e.message.clone())),
+                ])
+            })
+            .collect(),
+    );
+    let prometheus = render_prometheus(&snap);
+    ok_response(vec![
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+        ("events", events),
+        ("prometheus", Json::str(prometheus)),
     ])
 }

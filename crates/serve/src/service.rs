@@ -17,12 +17,11 @@
 //! against one trace.
 
 use crate::cache::{ArtifactCache, TraceKey};
-use crate::histogram::Histogram;
+use crate::histogram::{histogram_json, Histogram};
 use crate::scheduler::JobCompletion;
 use preexec_core::par::{ParStats, Parallelism};
-use preexec_experiments::pipeline::{try_base_sim, try_select_par, try_sim};
+use preexec_experiments::pipeline::{try_assisted_sim, try_base_sim, try_select_par};
 use preexec_experiments::{try_trace_and_slice_warm_par, PipelineConfig, PipelineResult};
-use preexec_timing::SimMode;
 use preexec_workloads::{by_name, InputSet, Workload};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -180,10 +179,10 @@ impl StageHists {
     /// Serializes all four histograms keyed by stage name.
     pub fn to_json(&self) -> crate::json::Json {
         crate::json::Json::obj(vec![
-            ("trace", locked(&self.trace).to_json()),
-            ("base_sim", locked(&self.base_sim).to_json()),
-            ("select", locked(&self.select).to_json()),
-            ("assisted_sim", locked(&self.assisted_sim).to_json()),
+            ("trace", histogram_json(&locked(&self.trace))),
+            ("base_sim", histogram_json(&locked(&self.base_sim))),
+            ("select", histogram_json(&locked(&self.select))),
+            ("assisted_sim", histogram_json(&locked(&self.assisted_sim))),
         ])
     }
 }
@@ -275,14 +274,30 @@ pub fn run_job(
     stage_us.select = elapsed_us(t);
 
     let t = Instant::now();
-    let assisted = match try_sim(&program, &selection.pthreads, cfg, SimMode::Normal) {
+    let assisted = match try_assisted_sim(&program, &selection.pthreads, cfg) {
         Ok(r) => r,
         Err(e) => return JobCompletion::Failed(e),
     };
     stage_us.assisted_sim = elapsed_us(t);
 
     hists.record(&stage_us, cache_hit);
+    let journal = preexec_obs::global().journal();
+    if assisted.squashes > 0 {
+        journal.note(
+            "squash",
+            &format!(
+                "{} p-thread squashes during assisted sim of {}",
+                assisted.squashes, spec.workload_name
+            ),
+        );
+    }
     let timed_out = base.timed_out || assisted.timed_out;
+    if timed_out {
+        journal.note(
+            "watchdog",
+            &format!("timing watchdog truncated a sim of {}", spec.workload_name),
+        );
+    }
     let output = JobOutput {
         workload: spec.workload_name.clone(),
         input: spec.input,
@@ -305,6 +320,7 @@ fn elapsed_us(t: Instant) -> u64 {
 mod tests {
     use super::*;
     use preexec_experiments::try_run_pipeline;
+    use preexec_obs::Registry;
     use std::path::PathBuf;
 
     fn tmp_dir(name: &str) -> PathBuf {
@@ -312,6 +328,15 @@ mod tests {
             .join(format!("preexec-serve-service-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    /// A cache with a private registry: these tests assert exact counter
+    /// values, which the shared global registry cannot guarantee under
+    /// the parallel test runner.
+    fn isolated_cache(dir: &PathBuf, max_entries: usize) -> (ArtifactCache, Registry) {
+        let registry = Registry::new();
+        let cache = ArtifactCache::with_registry(dir, max_entries, &registry);
+        (cache, registry)
     }
 
     #[test]
@@ -325,7 +350,7 @@ mod tests {
     #[test]
     fn second_run_hits_the_cache_and_matches_the_first_and_a_direct_run() {
         let dir = tmp_dir("hit");
-        let cache = ArtifactCache::new(&dir, 8);
+        let (cache, _registry) = isolated_cache(&dir, 8);
         let hists = StageHists::new();
         let cfg = PipelineConfig::paper_default(60_000);
         let spec = JobSpec::new("vpr.r", InputSet::Train, cfg).expect("spec");
@@ -366,7 +391,7 @@ mod tests {
     #[test]
     fn corrupt_cache_entry_recomputes_instead_of_failing() {
         let dir = tmp_dir("corrupt");
-        let cache = ArtifactCache::new(&dir, 8);
+        let (cache, _registry) = isolated_cache(&dir, 8);
         let hists = StageHists::new();
         let cfg = PipelineConfig::paper_default(40_000);
         let spec = JobSpec::new("gap", InputSet::Train, cfg).expect("spec");

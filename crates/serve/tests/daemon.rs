@@ -22,8 +22,13 @@ struct Daemon {
 
 impl Daemon {
     fn spawn() -> Daemon {
+        // Per-spawn unique dir: tests in this binary run in parallel, and
+        // a shared cache would leak artifacts (and cache hits) across
+        // daemons.
+        static SPAWNS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = SPAWNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let cache_dir = std::env::temp_dir()
-            .join(format!("preexec-daemon-test-{}", std::process::id()));
+            .join(format!("preexec-daemon-test-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&cache_dir);
         let mut child = Command::new(env!("CARGO_BIN_EXE_preexecd"))
             .args([
@@ -227,6 +232,59 @@ fn daemon_serves_jobs_caches_repeats_and_shuts_down() {
     assert_eq!(resp.get("shutting_down").and_then(Json::as_bool), Some(true));
     drop(conn);
     drop(conn2);
+    daemon.wait_for_exit();
+}
+
+#[test]
+fn metrics_verb_reports_the_registry_and_prometheus_text() {
+    let daemon = Daemon::spawn();
+    let mut conn = daemon.connect();
+
+    // Run one real job so the stage histograms and counters have data.
+    let job = conn.submit("vpr.r");
+    conn.wait_done(job);
+
+    let metrics = conn.ok(r#"{"cmd":"metrics"}"#);
+    // JSON face: counters, gauges, histograms, events, plus the text.
+    assert_eq!(
+        u64_field(&metrics, &["counters", "sched.done"]),
+        1,
+        "{}",
+        metrics.encode()
+    );
+    assert_eq!(u64_field(&metrics, &["counters", "cache.misses"]), 1);
+    // (`pipeline.runs` counts the one-shot entry point, not the daemon's
+    // staged path — it stays absent here.)
+    assert!(u64_field(&metrics, &["counters", "select.pthreads"]) >= 1);
+    assert!(u64_field(&metrics, &["counters", "server.connections"]) >= 1);
+    assert!(u64_field(&metrics, &["histograms", "stage.base_sim", "count"]) >= 1);
+    assert!(
+        metrics.get("gauges").and_then(|g| g.get("sched.queue_depth")).is_some(),
+        "{}",
+        metrics.encode()
+    );
+    assert!(metrics.get("events").and_then(Json::as_arr).is_some());
+
+    // Prometheus face: one text blob with the required series.
+    let text = metrics
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .expect("prometheus text field");
+    for series in [
+        "preexec_stage_trace_us_count",
+        "preexec_stage_base_sim_us_count",
+        "preexec_stage_score_us_count",
+        "preexec_stage_solve_us_count",
+        "preexec_stage_assisted_sim_us_count",
+        "preexec_cache_misses_total",
+        "preexec_sched_done_total",
+        "preexec_sched_queue_depth",
+    ] {
+        assert!(text.contains(series), "missing series `{series}` in:\n{text}");
+    }
+
+    let _ = conn.ok(r#"{"cmd":"shutdown"}"#);
+    drop(conn);
     daemon.wait_for_exit();
 }
 
