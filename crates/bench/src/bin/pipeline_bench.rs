@@ -1,28 +1,33 @@
 //! `pipeline-bench` — end-to-end pipeline benchmark with per-stage
-//! wall-clock, serial versus N-thread.
+//! wall-clock, serial versus N-thread, batch versus streaming.
 //!
-//! Runs one workload through trace+slice, base sim, and selection twice
-//! — once with `Parallelism::serial()`, once with `--threads N` — and
-//! emits `BENCH_pipeline.json` with per-stage timings plus the
-//! parallel stages' internal [`ParStats`] counters and an `obs` section
-//! (the [`preexec_obs`] registry's per-stage histograms and counters,
-//! accumulated across both runs). The two runs are also compared for
-//! bit-identity, so every benchmark run doubles as a determinism check
-//! (DESIGN.md §11).
+//! Runs one workload through the [`Pipeline`] builder three ways — batch
+//! serial, batch `--threads N`, and streaming — and emits two reports:
+//!
+//! - `BENCH_pipeline.json`: per-stage timings, the parallel stages'
+//!   internal [`ParStats`] counters, and an `obs` section (the
+//!   [`preexec_obs`] registry's per-stage histograms, counters, and
+//!   gauges accumulated across the runs);
+//! - `BENCH_stream.json`: batch versus streaming trace wall clock plus a
+//!   peak-memory proxy in instruction records (the full trace length the
+//!   batch path conceptually materializes versus the streaming path's
+//!   measured `stream.peak_window_insts` high-water mark), the transport
+//!   counters, and the same `obs` section.
+//!
+//! All legs are compared for bit-identity, so every benchmark run
+//! doubles as a determinism check (DESIGN.md §11) covering both the
+//! thread axis and the batch/streaming axis.
 //!
 //! Usage: `pipeline-bench [--workload NAME] [--budget B] [--threads N]
-//!         [--out PATH]`
+//!         [--out PATH] [--stream-out PATH]`
 //!
 //! Defaults: `vpr.r`, 60 000 instructions, one thread per core,
-//! `BENCH_pipeline.json`. Exit codes: 0 success, 2 usage error, 1
-//! pipeline or I/O failure (including a serial/parallel mismatch, which
-//! would mean a determinism bug).
+//! `BENCH_pipeline.json`, `BENCH_stream.json`. Exit codes: 0 success, 2
+//! usage error, 1 pipeline or I/O failure (including any leg mismatch,
+//! which would mean a determinism bug).
 
 use preexec_bench::build;
-use preexec_experiments::{
-    try_base_sim, try_select_par, try_trace_and_slice_warm_par, ParStats, Parallelism,
-    PipelineConfig,
-};
+use preexec_experiments::{ParStats, Parallelism, Pipeline, PipelineConfig};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -32,6 +37,7 @@ struct Args {
     budget: u64,
     threads: usize,
     out: String,
+    stream_out: String,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -41,6 +47,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         threads: std::thread::available_parallelism()
             .map_or(1, std::num::NonZeroUsize::get),
         out: "BENCH_pipeline.json".to_string(),
+        stream_out: "BENCH_stream.json".to_string(),
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -62,6 +69,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .ok_or_else(|| format!("bad thread count `{v}`"))?;
             }
             "--out" => args.out = value("--out")?,
+            "--stream-out" => args.stream_out = value("--stream-out")?,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -99,8 +107,7 @@ fn par_stats_json(out: &mut String, s: &ParStats) {
 
 /// Appends the global metrics registry's view of the run: every
 /// `stage.*` latency histogram (count, total, p99 bound) plus the
-/// pipeline's counters, accumulated across both the serial and the
-/// parallel leg.
+/// pipeline's counters and gauges, accumulated across all legs so far.
 fn obs_json(out: &mut String) {
     let snap = preexec_obs::global().snapshot();
     out.push_str(r#"{"stages_hist_us":{"#);
@@ -127,6 +134,15 @@ fn obs_json(out: &mut String) {
         first = false;
         let _ = write!(out, r#""{name}":{v}"#);
     }
+    out.push_str(r#"},"gauges":{"#);
+    let mut first = true;
+    for (name, v) in &snap.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, r#""{name}":{v}"#);
+    }
     out.push_str("}}");
 }
 
@@ -140,60 +156,69 @@ fn run(args: &Args) -> Result<(), String> {
     // construction behind it is the parallel part, and ParStats covers
     // exactly that fan-out.
     let t = Instant::now();
-    let (f_serial, stats, _) = try_trace_and_slice_warm_par(
-        &program,
-        cfg.scope,
-        cfg.max_slice_len,
-        cfg.budget,
-        cfg.warmup,
-        Parallelism::serial(),
-    )
-    .map_err(|e| format!("serial trace: {e}"))?;
+    let arts_serial = Pipeline::new(&program)
+        .config(cfg)
+        .trace()
+        .map_err(|e| format!("serial trace: {e}"))?;
     let slice_serial_us = t.elapsed().as_micros();
     let t = Instant::now();
-    let (f_par, _, slice_stats) = try_trace_and_slice_warm_par(
-        &program,
-        cfg.scope,
-        cfg.max_slice_len,
-        cfg.budget,
-        cfg.warmup,
-        par,
-    )
-    .map_err(|e| format!("parallel trace: {e}"))?;
+    let arts_par = Pipeline::new(&program)
+        .config(cfg)
+        .parallelism(par)
+        .trace()
+        .map_err(|e| format!("parallel trace: {e}"))?;
     let slice = StagePair {
         serial_us: slice_serial_us,
         par_us: t.elapsed().as_micros(),
-        par_stats: slice_stats,
+        par_stats: arts_par.par,
     };
-    if preexec_slice::write_forest(&f_serial) != preexec_slice::write_forest(&f_par) {
+    let forest_bytes = preexec_slice::write_forest(&arts_serial.forest);
+    if forest_bytes != preexec_slice::write_forest(&arts_par.forest) {
         return Err(format!(
             "slice forests differ between --threads 1 and --threads {}",
             args.threads
         ));
     }
 
-    // Base sim: always serial (cycle-accurate state machine); timed so
-    // the report shows the full pipeline's stage balance.
+    // The streaming leg: bounded-memory transport, producer/consumer
+    // overlap instead of the deferred tree fan-out.
     let t = Instant::now();
-    let base = try_base_sim(&program, &cfg).map_err(|e| format!("base sim: {e}"))?;
-    let base_us = t.elapsed().as_micros();
+    let arts_stream = Pipeline::new(&program)
+        .config(cfg)
+        .streaming(true)
+        .trace()
+        .map_err(|e| format!("streaming trace: {e}"))?;
+    let stream_us = t.elapsed().as_micros();
+    let sstats = arts_stream
+        .stream
+        .ok_or("streaming trace reported no transport stats")?;
+    if forest_bytes != preexec_slice::write_forest(&arts_stream.forest) {
+        return Err("slice forests differ between batch and --stream".to_string());
+    }
 
-    // Selection (scoring + per-tree fixed points), serial then parallel.
-    let t = Instant::now();
-    let (sel_serial, _) = try_select_par(&f_serial, &cfg, base.ipc(), Parallelism::serial())
-        .map_err(|e| format!("serial select: {e}"))?;
-    let select_serial_us = t.elapsed().as_micros();
-    let t = Instant::now();
-    let (sel_par, select_stats) = try_select_par(&f_par, &cfg, base.ipc(), par)
-        .map_err(|e| format!("parallel select: {e}"))?;
+    // Finish from the traced artifacts, serial then parallel: base sim,
+    // selection, assisted sim, each timed by the builder.
+    let stats = arts_serial.stats;
+    let out_serial = Pipeline::new(&program)
+        .config(cfg)
+        .artifacts(arts_serial.forest, stats.clone())
+        .run()
+        .map_err(|e| format!("serial finish: {e}"))?;
+    let out_par = Pipeline::new(&program)
+        .config(cfg)
+        .parallelism(par)
+        .artifacts(arts_par.forest, arts_par.stats)
+        .run()
+        .map_err(|e| format!("parallel finish: {e}"))?;
+    let base_us = u128::from(out_serial.stage_us.base_sim);
     let select = StagePair {
-        serial_us: select_serial_us,
-        par_us: t.elapsed().as_micros(),
-        par_stats: select_stats,
+        serial_us: u128::from(out_serial.stage_us.select),
+        par_us: u128::from(out_par.stage_us.select),
+        par_stats: out_par.par.select,
     };
-    if format!("{sel_serial:?}") != format!("{sel_par:?}") {
+    if format!("{:?}", out_serial.result) != format!("{:?}", out_par.result) {
         return Err(format!(
-            "selections differ between --threads 1 and --threads {}",
+            "results differ between --threads 1 and --threads {}",
             args.threads
         ));
     }
@@ -212,7 +237,7 @@ fn run(args: &Args) -> Result<(), String> {
         args.threads,
         stats.insts,
         stats.l2_misses,
-        f_serial.num_trees(),
+        out_serial.forest.num_trees(),
         slice.serial_us,
         slice.par_us,
         base_us,
@@ -228,22 +253,56 @@ fn run(args: &Args) -> Result<(), String> {
         slice.speedup(),
         select.speedup(),
         combined,
-        sel_serial.pthreads.len(),
+        out_serial.result.selection.pthreads.len(),
     );
     obs_json(&mut json);
     json.push('}');
     json.push('\n');
     std::fs::write(&args.out, &json).map_err(|e| format!("writing {}: {e}", args.out))?;
 
+    // The streaming report: batch vs streaming wall clock and the
+    // peak-memory proxy. `batch.peak_insts_proxy` is the number of trace
+    // records a fully-materialized run holds (every architectural step
+    // emits at most one); `stream.peak_insts_proxy` is the measured
+    // window + in-flight-chunk high-water mark.
+    let stream_speedup = if stream_us == 0 {
+        1.0
+    } else {
+        slice.serial_us as f64 / stream_us as f64
+    };
+    let mut sjson = String::new();
+    let _ = write!(
+        sjson,
+        r#"{{"workload":"{}","budget":{},"batch":{{"wall_us":{},"peak_insts_proxy":{}}},"stream":{{"wall_us":{},"peak_insts_proxy":{},"chunks":{},"backpressure_stalls_us":{},"consumer_stalls_us":{}}},"speedup":{:.3},"identical":true,"obs":"#,
+        args.workload,
+        args.budget,
+        slice.serial_us,
+        stats.total_steps,
+        stream_us,
+        sstats.peak_window_insts,
+        sstats.chunks,
+        sstats.backpressure_stalls_us,
+        sstats.consumer_stalls_us,
+        stream_speedup,
+    );
+    obs_json(&mut sjson);
+    sjson.push('}');
+    sjson.push('\n');
+    std::fs::write(&args.stream_out, &sjson)
+        .map_err(|e| format!("writing {}: {e}", args.stream_out))?;
+
     eprintln!(
-        "pipeline-bench: {} @ {} insts, {} threads: slice {:.2}x, select {:.2}x, combined {:.2}x -> {}",
+        "pipeline-bench: {} @ {} insts, {} threads: slice {:.2}x, select {:.2}x, combined {:.2}x -> {}; stream peak {} vs batch {} insts -> {}",
         args.workload,
         args.budget,
         args.threads,
         slice.speedup(),
         select.speedup(),
         combined,
-        args.out
+        args.out,
+        sstats.peak_window_insts,
+        stats.total_steps,
+        args.stream_out
     );
     Ok(())
 }

@@ -1,0 +1,349 @@
+//! The [`Pipeline`] builder — the single front door to the trace →
+//! slice → select → simulate toolflow.
+//!
+//! Historically every combination of knobs grew its own free function
+//! (`try_run_pipeline`, `try_run_pipeline_par`,
+//! `try_run_pipeline_with_artifacts`, `try_select_par`, …). The builder
+//! collapses that surface into one typed entry point:
+//!
+//! ```
+//! use preexec_experiments::Pipeline;
+//! use preexec_workloads::{suite, InputSet};
+//!
+//! let w = suite().into_iter().find(|w| w.name == "vpr.r").unwrap();
+//! let p = w.build(InputSet::Train);
+//! let out = Pipeline::new(&p).budget(60_000).threads(2).run().unwrap();
+//! assert!(out.result.speedup() >= 1.0);
+//! ```
+//!
+//! The old free functions survive as `#[deprecated]` thin wrappers whose
+//! outputs are pinned byte-identical to the builder's by
+//! `tests/builder_wrappers` — callers migrate on their own schedule, the
+//! behaviour cannot drift.
+//!
+//! Knobs compose orthogonally:
+//!
+//! - [`threads`](Pipeline::threads) / [`parallelism`](Pipeline::parallelism)
+//!   — intra-stage fan-out (slice-tree build, selection);
+//! - [`streaming`](Pipeline::streaming) — bounded-memory trace transport
+//!   (producer/consumer overlap instead of the deferred-bank fan-out);
+//! - [`artifacts`](Pipeline::artifacts) — skip the trace stage entirely,
+//!   finishing from a cached forest (the service's cache-hit path).
+//!
+//! Every combination produces byte-identical [`PipelineResult`]s — the
+//! determinism contract of DESIGN.md §11 extended to the new axes.
+
+use crate::pipeline::{
+    self, PipelineConfig, PipelineParStats, PipelineResult, StreamRunStats,
+};
+use crate::PipelineError;
+use preexec_core::par::{ParStats, Parallelism};
+use preexec_func::{RunStats, StreamConfig};
+use preexec_isa::Program;
+use preexec_slice::SliceForest;
+use std::time::Instant;
+
+/// Wall-clock microseconds spent in each pipeline stage of one
+/// [`Pipeline::run`] (trace includes slicing; zero when the stage was
+/// skipped via [`Pipeline::artifacts`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageUs {
+    /// Trace + slice-forest construction.
+    pub trace: u64,
+    /// Unassisted timing simulation.
+    pub base_sim: u64,
+    /// P-thread selection.
+    pub select: u64,
+    /// Assisted timing simulation.
+    pub assisted_sim: u64,
+}
+
+/// What [`Pipeline::trace`] produces: the slice forest plus everything
+/// measured while building it.
+#[derive(Debug, Clone)]
+pub struct TraceArtifacts {
+    /// The slice forest (one tree per problem load).
+    pub forest: SliceForest,
+    /// Functional trace statistics.
+    pub stats: RunStats,
+    /// Utilization of the slice-tree fan-out (batch mode; a serial
+    /// placeholder in streaming mode, where overlap replaces fan-out).
+    pub par: ParStats,
+    /// Streaming transport counters; `None` on the batch path.
+    pub stream: Option<StreamRunStats>,
+}
+
+/// Everything one [`Pipeline::run`] produced.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// The measurements (trace stats, base sim, selection, assisted sim).
+    pub result: PipelineResult,
+    /// The slice forest the selection ran against — returned so callers
+    /// (e.g. the artifact cache) can persist it without re-tracing.
+    pub forest: SliceForest,
+    /// Per-stage parallel-utilization counters.
+    pub par: PipelineParStats,
+    /// Streaming transport counters; `None` unless
+    /// [`streaming`](Pipeline::streaming) was enabled and the trace ran.
+    pub stream: Option<StreamRunStats>,
+    /// Wall-clock stage timings.
+    pub stage_us: StageUs,
+    /// Whether the trace stage was skipped via
+    /// [`artifacts`](Pipeline::artifacts).
+    pub artifacts_reused: bool,
+}
+
+/// Builder for one pipeline run over one workload program.
+///
+/// See the [module docs](self) for the knob model and the determinism
+/// contract.
+#[derive(Debug, Clone)]
+pub struct Pipeline<'p> {
+    program: &'p Program,
+    cfg: PipelineConfig,
+    par: Parallelism,
+    streaming: bool,
+    stream: StreamConfig,
+    artifacts: Option<(SliceForest, RunStats)>,
+}
+
+impl<'p> Pipeline<'p> {
+    /// Starts a builder over `program` with the paper-default
+    /// configuration at a 120 k-instruction budget (the repo's standard
+    /// quick-run scale; override with [`budget`](Self::budget) or
+    /// [`config`](Self::config)).
+    pub fn new(program: &'p Program) -> Pipeline<'p> {
+        Pipeline {
+            program,
+            cfg: PipelineConfig::paper_default(120_000),
+            par: Parallelism::serial(),
+            streaming: false,
+            stream: StreamConfig::default(),
+            artifacts: None,
+        }
+    }
+
+    /// Replaces the whole [`PipelineConfig`].
+    #[must_use]
+    pub fn config(mut self, cfg: PipelineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the instruction budget, scaling warm-up to the paper's ratio
+    /// (a quarter of the budget).
+    #[must_use]
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.cfg.budget = budget;
+        self.cfg.warmup = budget / 4;
+        self
+    }
+
+    /// Sets the intra-stage thread count (1 = serial).
+    #[must_use]
+    pub fn threads(self, n: usize) -> Self {
+        self.parallelism(Parallelism::new(n))
+    }
+
+    /// Sets the intra-stage parallelism knob directly.
+    #[must_use]
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Selects the streaming bounded-memory trace path (see
+    /// [`pipeline::try_trace_and_slice_streamed`]). Off by default.
+    #[must_use]
+    pub fn streaming(mut self, on: bool) -> Self {
+        self.streaming = on;
+        self
+    }
+
+    /// Sets the streaming transport geometry (implies nothing about
+    /// [`streaming`](Self::streaming) — the flag still picks the path).
+    #[must_use]
+    pub fn stream_config(mut self, stream: StreamConfig) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Supplies pre-computed trace artifacts (e.g. an artifact-cache
+    /// hit), skipping the trace stage entirely. The artifacts must come
+    /// from a trace under the same scope/slice-length/budget/warm-up, or
+    /// the run answers a different question than it claims to.
+    #[must_use]
+    pub fn artifacts(mut self, forest: SliceForest, stats: RunStats) -> Self {
+        self.artifacts = Some((forest, stats));
+        self
+    }
+
+    /// Runs only the trace+slice stage, returning the artifacts (the
+    /// decoupled toolflow's expensive half; feed the result back through
+    /// [`artifacts`](Self::artifacts) to finish later).
+    ///
+    /// # Errors
+    ///
+    /// Configuration variants of [`PipelineError`] before any work
+    /// starts; [`PipelineError::Exec`]/[`Slice`](PipelineError::Slice)
+    /// if the trace faults.
+    pub fn trace(self) -> Result<TraceArtifacts, PipelineError> {
+        self.cfg.try_validate()?;
+        let (artifacts, _us) = self.trace_stage()?;
+        Ok(artifacts)
+    }
+
+    /// Runs the full pipeline (or its post-trace half, given
+    /// [`artifacts`](Self::artifacts)).
+    ///
+    /// # Errors
+    ///
+    /// Configuration variants of [`PipelineError`] before any work
+    /// starts; wrapped layer errors if a stage faults.
+    pub fn run(self) -> Result<PipelineOutput, PipelineError> {
+        self.cfg.try_validate()?;
+        preexec_obs::global().counter("pipeline.runs").inc();
+        let program = self.program;
+        let cfg = self.cfg;
+        let par = self.par;
+        let artifacts_reused = self.artifacts.is_some();
+        let (arts, trace_us) = self.trace_stage()?;
+        let mut stage_us = StageUs { trace: trace_us, ..StageUs::default() };
+
+        let t = Instant::now();
+        let base = pipeline::base_sim_stage(program, &cfg)?;
+        stage_us.base_sim = elapsed_us(t);
+
+        let t = Instant::now();
+        let (selection, select_par) = pipeline::select_stage(&arts.forest, &cfg, base.ipc(), par)?;
+        stage_us.select = elapsed_us(t);
+
+        let t = Instant::now();
+        let assisted = pipeline::assisted_sim_stage(program, &selection.pthreads, &cfg)?;
+        stage_us.assisted_sim = elapsed_us(t);
+
+        Ok(PipelineOutput {
+            result: PipelineResult { stats: arts.stats, base, selection, assisted },
+            forest: arts.forest,
+            par: PipelineParStats { slice: arts.par, select: select_par },
+            stream: arts.stream,
+            stage_us,
+            artifacts_reused,
+        })
+    }
+
+    /// The trace stage under the builder's knobs: supplied artifacts win,
+    /// then streaming, then batch. Returns the artifacts plus the stage's
+    /// wall-clock microseconds (zero for supplied artifacts).
+    fn trace_stage(self) -> Result<(TraceArtifacts, u64), PipelineError> {
+        let serial = ParStats { threads: 1, ..ParStats::default() };
+        if let Some((forest, stats)) = self.artifacts {
+            let arts = TraceArtifacts { forest, stats, par: serial, stream: None };
+            return Ok((arts, 0));
+        }
+        let t = Instant::now();
+        let arts = if self.streaming {
+            let (forest, stats, stream) = pipeline::try_trace_and_slice_streamed(
+                self.program,
+                self.cfg.scope,
+                self.cfg.max_slice_len,
+                self.cfg.budget,
+                self.cfg.warmup,
+                &self.stream,
+            )?;
+            TraceArtifacts { forest, stats, par: serial, stream: Some(stream) }
+        } else {
+            let (forest, stats, par) = pipeline::trace_batch_par(
+                self.program,
+                self.cfg.scope,
+                self.cfg.max_slice_len,
+                self.cfg.budget,
+                self.cfg.warmup,
+                self.par,
+            )?;
+            TraceArtifacts { forest, stats, par, stream: None }
+        };
+        Ok((arts, elapsed_us(t)))
+    }
+}
+
+fn elapsed_us(t: Instant) -> u64 {
+    t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_workloads::{suite, InputSet};
+
+    fn vpr() -> Program {
+        let w = suite().into_iter().find(|w| w.name == "vpr.r").unwrap();
+        w.build(InputSet::Train)
+    }
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig::paper_default(120_000)
+    }
+
+    /// The Debug rendering round-trips every f64 exactly, so string
+    /// equality is byte equality on the results.
+    fn key(r: &PipelineResult) -> String {
+        format!("{r:?}")
+    }
+
+    #[test]
+    fn builder_matches_monolithic_run() {
+        let p = vpr();
+        let whole = pipeline::try_run_pipeline(&p, &cfg()).unwrap();
+        let out = Pipeline::new(&p).config(cfg()).run().unwrap();
+        assert_eq!(key(&out.result), key(&whole));
+        assert!(!out.artifacts_reused);
+        assert!(out.stream.is_none());
+        assert!(out.stage_us.trace > 0 && out.stage_us.base_sim > 0);
+    }
+
+    #[test]
+    fn budget_scales_warmup_like_paper_default() {
+        let p = vpr();
+        let b = Pipeline::new(&p).budget(80_000);
+        assert_eq!(b.cfg.budget, 80_000);
+        assert_eq!(b.cfg.warmup, 20_000);
+    }
+
+    #[test]
+    fn artifact_path_skips_trace_and_matches() {
+        let p = vpr();
+        let c = cfg();
+        let whole = Pipeline::new(&p).config(c).run().unwrap();
+        let arts = Pipeline::new(&p).config(c).trace().unwrap();
+        let out = Pipeline::new(&p).config(c).artifacts(arts.forest, arts.stats).run().unwrap();
+        assert!(out.artifacts_reused);
+        assert_eq!(out.stage_us.trace, 0);
+        assert_eq!(key(&out.result), key(&whole.result));
+    }
+
+    #[test]
+    fn streaming_run_matches_batch_run() {
+        let p = vpr();
+        let c = cfg();
+        let batch = Pipeline::new(&p).config(c).run().unwrap();
+        let out = Pipeline::new(&p).config(c).streaming(true).run().unwrap();
+        let s = out.stream.expect("streaming stats");
+        assert!(s.chunks > 0);
+        assert_eq!(key(&out.result), key(&batch.result));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_work() {
+        let p = vpr();
+        let bad = PipelineConfig { budget: 0, ..cfg() };
+        assert_eq!(
+            Pipeline::new(&p).config(bad).run().unwrap_err(),
+            PipelineError::ZeroBudget
+        );
+        assert_eq!(
+            Pipeline::new(&p).config(bad).trace().unwrap_err(),
+            PipelineError::ZeroBudget
+        );
+    }
+}

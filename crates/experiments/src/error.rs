@@ -47,6 +47,30 @@ pub enum PipelineError {
     Sim(SimError),
 }
 
+impl PipelineError {
+    /// Stable machine-readable code naming the variant — what clients
+    /// and the wire protocol dispatch on. Human messages may be
+    /// reworded; these strings must not change.
+    ///
+    /// `config.*` codes are rejected before any work starts;
+    /// `pipeline.*` codes are runtime stage faults.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PipelineError::ZeroScope => "config.zero_scope",
+            PipelineError::ZeroMaxSliceLen => "config.zero_max_slice_len",
+            PipelineError::ZeroMaxPthreadLen => "config.zero_max_pthread_len",
+            PipelineError::ZeroBudget => "config.zero_budget",
+            PipelineError::BadModelMissLatency(_) => "config.bad_model_miss_latency",
+            PipelineError::BadModelWidth(_) => "config.bad_model_width",
+            PipelineError::Machine(_) => "config.machine",
+            PipelineError::Params(_) => "config.selection_params",
+            PipelineError::Exec(_) => "pipeline.exec",
+            PipelineError::Slice(_) => "pipeline.slice",
+            PipelineError::Sim(_) => "pipeline.sim",
+        }
+    }
+}
+
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -121,6 +145,32 @@ impl From<SimError> for PipelineError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_variant_has_a_distinct_code() {
+        let codes = [
+            PipelineError::ZeroScope.code(),
+            PipelineError::ZeroMaxSliceLen.code(),
+            PipelineError::ZeroMaxPthreadLen.code(),
+            PipelineError::ZeroBudget.code(),
+            PipelineError::BadModelMissLatency(0.0).code(),
+            PipelineError::BadModelWidth(0.0).code(),
+            PipelineError::Machine(MachineError::ZeroWidth).code(),
+            PipelineError::Params(ParamsError::ZeroMaxPthreadLen).code(),
+            PipelineError::Exec(ExecError::CpuHalted).code(),
+            PipelineError::Slice(SliceError::ZeroScope).code(),
+            PipelineError::Sim(SimError::Machine(MachineError::ZeroWidth)).code(),
+        ];
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b, "duplicate error code `{a}`");
+            }
+            assert!(
+                a.starts_with("config.") || a.starts_with("pipeline."),
+                "code `{a}` outside the taxonomy"
+            );
+        }
+    }
 
     #[test]
     fn wrapped_errors_expose_sources() {

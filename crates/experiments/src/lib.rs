@@ -28,6 +28,7 @@
 //! | `fig8` | memory-latency cross-validation |
 //! | `width_xval` | processor-width cross-validation (§4.5, stated) |
 
+pub mod builder;
 pub mod error;
 pub mod fault;
 pub mod figures;
@@ -35,12 +36,17 @@ pub mod fmt;
 pub mod pipeline;
 pub mod tables;
 
+pub use builder::{Pipeline, PipelineOutput, StageUs, TraceArtifacts};
 pub use error::PipelineError;
+#[allow(deprecated)] // re-exported for migration; the wrappers warn at use sites
 pub use pipeline::{
-    run_pipeline, trace_and_slice, trace_and_slice_warm, try_assisted_sim, try_base_sim,
-    try_run_pipeline,
-    try_run_pipeline_par, try_run_pipeline_with_artifacts, try_run_pipeline_with_artifacts_par,
-    try_select, try_select_par, try_trace_and_slice_warm, try_trace_and_slice_warm_par,
-    PipelineConfig, PipelineParStats, PipelineResult,
+    try_assisted_sim, try_base_sim, try_run_pipeline_par, try_run_pipeline_with_artifacts,
+    try_run_pipeline_with_artifacts_par, try_select, try_select_par, try_trace_and_slice_warm_par,
+};
+pub use pipeline::{
+    run_pipeline, trace_and_slice, trace_and_slice_warm, try_run_pipeline,
+    try_trace_and_slice_streamed, try_trace_and_slice_warm, PipelineConfig, PipelineParStats,
+    PipelineResult, StreamRunStats,
 };
 pub use preexec_core::par::{ParStats, Parallelism};
+pub use preexec_func::StreamConfig;

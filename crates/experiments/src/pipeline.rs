@@ -3,7 +3,9 @@
 use crate::PipelineError;
 use preexec_core::par::{self, ParStats, Parallelism};
 use preexec_core::{select_pthreads, select_pthreads_stats, Selection, SelectionParams, StaticPThread};
-use preexec_func::{try_run_trace, ExecError, RunStats, TraceConfig};
+use preexec_func::{
+    try_run_trace, try_run_trace_chunked, DynInst, ExecError, RunStats, StreamConfig, TraceConfig,
+};
 use preexec_isa::Program;
 use preexec_mem::HierarchyConfig;
 use preexec_slice::{PendingTree, SliceForest, SliceForestBuilder};
@@ -19,6 +21,29 @@ pub struct PipelineParStats {
     pub slice: ParStats,
     /// The selection fan-outs (per-candidate scoring + per-tree solving).
     pub select: ParStats,
+}
+
+/// What the streaming trace+slice stage measured about itself: transport
+/// counters from the bounded SPSC channel plus the peak slicing-window
+/// occupancy — the number that proves the bounded-memory contract.
+///
+/// Mirrored into the [`preexec_obs`] registry as `stream.chunks`,
+/// `stream.backpressure_stalls_us` (counters) and
+/// `stream.peak_window_insts` (gauge).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamRunStats {
+    /// Trace chunks delivered through the channel.
+    pub chunks: u64,
+    /// Peak `window occupancy + in-flight chunk` instructions held by the
+    /// slicer at once. Bounded by `scope + chunk_insts` whatever the
+    /// trace length.
+    pub peak_window_insts: u64,
+    /// Wall-clock time the tracer spent stalled on a full channel
+    /// (consumer slower than producer).
+    pub backpressure_stalls_us: u64,
+    /// Wall-clock time the slicer spent stalled on an empty channel
+    /// (producer slower than consumer).
+    pub consumer_stalls_us: u64,
 }
 
 /// Configuration of one pipeline run.
@@ -228,7 +253,22 @@ pub fn try_trace_and_slice_warm(
 /// # Errors
 ///
 /// Same as [`try_trace_and_slice_warm`].
+#[deprecated(note = "use `Pipeline::new(program).threads(n).trace()` instead")]
 pub fn try_trace_and_slice_warm_par(
+    program: &Program,
+    scope: usize,
+    max_slice_len: usize,
+    budget: u64,
+    warmup: u64,
+    par: Parallelism,
+) -> Result<(SliceForest, RunStats, ParStats), PipelineError> {
+    trace_batch_par(program, scope, max_slice_len, budget, warmup, par)
+}
+
+/// Batch trace+slice with the deferred slice-tree fan-out (the
+/// implementation behind the deprecated [`try_trace_and_slice_warm_par`]
+/// and the batch path of [`Pipeline`](crate::Pipeline)).
+pub(crate) fn trace_batch_par(
     program: &Program,
     scope: usize,
     max_slice_len: usize,
@@ -253,6 +293,131 @@ pub fn try_trace_and_slice_warm_par(
     Ok((forest, stats, pstats))
 }
 
+/// Streaming trace+slice with bounded memory: the functional trace runs
+/// on a producer thread, emitting fixed-size chunks through a bounded
+/// SPSC channel ([`preexec_func::try_run_trace_chunked`]); slice-window
+/// construction consumes chunks incrementally on the calling thread,
+/// retiring instructions out of the window as they age past the scope.
+/// Peak memory is `O(scope + chunk)`, not `O(trace)` — and unlike the
+/// deferred batch path, no per-miss slice bank accumulates — while trace
+/// generation overlaps slice construction (pipeline parallelism).
+///
+/// The result is **bit-identical** to [`try_trace_and_slice_warm`]: the
+/// consumer replays exactly the batch sink's per-instruction sequence,
+/// and chunking changes batching, never content.
+///
+/// # Errors
+///
+/// Same as [`try_trace_and_slice_warm`].
+pub fn try_trace_and_slice_streamed(
+    program: &Program,
+    scope: usize,
+    max_slice_len: usize,
+    budget: u64,
+    warmup: u64,
+    stream: &StreamConfig,
+) -> Result<(SliceForest, RunStats, StreamRunStats), PipelineError> {
+    let mut builder = SliceForestBuilder::try_new(scope, max_slice_len)?;
+    let config = trace_config(budget, warmup);
+    let trace_span = preexec_obs::global().span("stage.trace");
+    let mut stats = RunStats::new();
+    let mut sink_fault: Option<ExecError> = None;
+    let mut peak: usize = 0;
+    let (full, sstats) = try_run_trace_chunked(program, &config, stream, |chunk| {
+        // The occupancy high-water mark: everything the slicer holds while
+        // working a chunk is the window plus the chunk itself.
+        peak = peak.max(builder.window_len() + chunk.len());
+        if sink_fault.is_some() {
+            return; // drain the channel; the latched fault wins
+        }
+        for d in chunk {
+            if let Err(e) = feed_measured(&mut builder, &mut stats, warmup, d) {
+                sink_fault = Some(e);
+                return;
+            }
+        }
+    })?;
+    if let Some(e) = sink_fault {
+        return Err(e.into());
+    }
+    stats.total_steps = full.total_steps;
+    trace_span.finish();
+    let build_span = preexec_obs::global().span("stage.slice_build");
+    let forest = builder.finish();
+    build_span.finish();
+
+    let stream_stats = StreamRunStats {
+        chunks: sstats.chunks,
+        peak_window_insts: peak as u64,
+        backpressure_stalls_us: sstats.producer_stall_us,
+        consumer_stalls_us: sstats.consumer_stall_us,
+    };
+    let reg = preexec_obs::global();
+    reg.counter("stream.chunks").add(stream_stats.chunks);
+    reg.counter("stream.backpressure_stalls_us").add(stream_stats.backpressure_stalls_us);
+    reg.gauge("stream.peak_window_insts").set(peak as i64);
+    Ok((forest, stats, stream_stats))
+}
+
+/// The [`TraceConfig`] every trace+slice path uses: paper caches, a step
+/// budget of `warmup + budget`.
+fn trace_config(budget: u64, warmup: u64) -> TraceConfig {
+    TraceConfig {
+        hierarchy: HierarchyConfig::paper_default(),
+        max_steps: warmup.saturating_add(budget),
+        ..TraceConfig::default()
+    }
+}
+
+/// Feeds one dynamic instruction into the forest builder and the trace
+/// statistics — the single per-instruction step every trace+slice path
+/// (batch immediate, batch deferred, streamed) replays identically.
+///
+/// Warm-up instructions warm the caches *and* the slicing window (so
+/// early measured slices can reach back through them) but are not
+/// counted or sliced.
+fn feed_measured(
+    builder: &mut SliceForestBuilder,
+    stats: &mut RunStats,
+    warmup: u64,
+    d: &DynInst,
+) -> Result<(), ExecError> {
+    if d.seq < warmup {
+        builder.observe_warmup(d);
+        return Ok(());
+    }
+    builder.observe(d);
+    stats.insts += 1;
+    match d.inst.op.class() {
+        preexec_isa::OpClass::Load => match d.level {
+            Some(level) => stats.record_load(d.pc, level),
+            None => {
+                return Err(ExecError::Malformed {
+                    pc: d.pc,
+                    reason: "load reported no cache level",
+                })
+            }
+        },
+        preexec_isa::OpClass::Store => match d.level {
+            Some(level) => stats.record_store(level),
+            None => {
+                return Err(ExecError::Malformed {
+                    pc: d.pc,
+                    reason: "store reported no cache level",
+                })
+            }
+        },
+        preexec_isa::OpClass::Branch => {
+            stats.branches += 1;
+            if d.taken {
+                stats.taken_branches += 1;
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
 /// The serial trace loop shared by the immediate and deferred slicing
 /// paths: runs the functional cache simulator, feeding every dynamic
 /// instruction to `builder` and accumulating the trace statistics.
@@ -262,14 +427,7 @@ fn trace_into_builder(
     budget: u64,
     warmup: u64,
 ) -> Result<RunStats, PipelineError> {
-    let config = TraceConfig {
-        hierarchy: HierarchyConfig::paper_default(),
-        max_steps: warmup.saturating_add(budget),
-        ..TraceConfig::default()
-    };
-    // Warm-up instructions warm the caches *and* the slicing window (so
-    // early measured slices can reach back through them) but are not
-    // counted or sliced.
+    let config = trace_config(budget, warmup);
     let mut stats = RunStats::new();
     // The sink cannot return early, so a malformed delta is latched here
     // and surfaced once the trace stops.
@@ -278,38 +436,8 @@ fn trace_into_builder(
         if sink_fault.is_some() {
             return;
         }
-        if d.seq < warmup {
-            builder.observe_warmup(d);
-            return;
-        }
-        builder.observe(d);
-        stats.insts += 1;
-        match d.inst.op.class() {
-            preexec_isa::OpClass::Load => match d.level {
-                Some(level) => stats.record_load(d.pc, level),
-                None => {
-                    sink_fault = Some(ExecError::Malformed {
-                        pc: d.pc,
-                        reason: "load reported no cache level",
-                    });
-                }
-            },
-            preexec_isa::OpClass::Store => match d.level {
-                Some(level) => stats.record_store(level),
-                None => {
-                    sink_fault = Some(ExecError::Malformed {
-                        pc: d.pc,
-                        reason: "store reported no cache level",
-                    });
-                }
-            },
-            preexec_isa::OpClass::Branch => {
-                stats.branches += 1;
-                if d.taken {
-                    stats.taken_branches += 1;
-                }
-            }
-            _ => {}
+        if let Err(e) = feed_measured(builder, &mut stats, warmup, d) {
+            sink_fault = Some(e);
         }
     })?;
     if let Some(e) = sink_fault {
@@ -391,7 +519,17 @@ pub fn try_sim(
 /// # Errors
 ///
 /// Same as [`try_sim`].
+#[deprecated(note = "use the `Pipeline` builder; its output carries the base sim")]
 pub fn try_base_sim(
+    program: &Program,
+    cfg: &PipelineConfig,
+) -> Result<SimResult, PipelineError> {
+    base_sim_stage(program, cfg)
+}
+
+/// Implementation of the base-sim stage (behind the deprecated
+/// [`try_base_sim`] and the builder).
+pub(crate) fn base_sim_stage(
     program: &Program,
     cfg: &PipelineConfig,
 ) -> Result<SimResult, PipelineError> {
@@ -407,7 +545,18 @@ pub fn try_base_sim(
 /// # Errors
 ///
 /// Same as [`try_sim`].
+#[deprecated(note = "use the `Pipeline` builder; its output carries the assisted sim")]
 pub fn try_assisted_sim(
+    program: &Program,
+    pthreads: &[StaticPThread],
+    cfg: &PipelineConfig,
+) -> Result<SimResult, PipelineError> {
+    assisted_sim_stage(program, pthreads, cfg)
+}
+
+/// Implementation of the assisted-sim stage (behind the deprecated
+/// [`try_assisted_sim`] and the builder).
+pub(crate) fn assisted_sim_stage(
     program: &Program,
     pthreads: &[StaticPThread],
     cfg: &PipelineConfig,
@@ -427,12 +576,13 @@ pub fn try_assisted_sim(
 ///
 /// Returns [`PipelineError::Params`] if the derived selection parameters
 /// are invalid.
+#[deprecated(note = "use `Pipeline::new(program).artifacts(...).run()` instead")]
 pub fn try_select(
     forest: &SliceForest,
     cfg: &PipelineConfig,
     base_ipc: f64,
 ) -> Result<Selection, PipelineError> {
-    try_select_par(forest, cfg, base_ipc, Parallelism::serial()).map(|(s, _)| s)
+    select_stage(forest, cfg, base_ipc, Parallelism::serial()).map(|(s, _)| s)
 }
 
 /// [`try_select`] with intra-stage parallelism (see
@@ -443,7 +593,19 @@ pub fn try_select(
 /// # Errors
 ///
 /// Same as [`try_select`].
+#[deprecated(note = "use `Pipeline::new(program).threads(n).artifacts(...).run()` instead")]
 pub fn try_select_par(
+    forest: &SliceForest,
+    cfg: &PipelineConfig,
+    base_ipc: f64,
+    par: Parallelism,
+) -> Result<(Selection, ParStats), PipelineError> {
+    select_stage(forest, cfg, base_ipc, par)
+}
+
+/// Implementation of the selection stage (behind the deprecated
+/// [`try_select`]/[`try_select_par`] and the builder).
+pub(crate) fn select_stage(
     forest: &SliceForest,
     cfg: &PipelineConfig,
     base_ipc: f64,
@@ -468,14 +630,14 @@ pub fn try_select_par(
 /// # Errors
 ///
 /// Same taxonomy as [`try_run_pipeline`], minus the trace stage.
+#[deprecated(note = "use `Pipeline::new(program).artifacts(forest, stats).run()` instead")]
 pub fn try_run_pipeline_with_artifacts(
     program: &Program,
     cfg: &PipelineConfig,
     forest: &SliceForest,
     stats: RunStats,
 ) -> Result<PipelineResult, PipelineError> {
-    try_run_pipeline_with_artifacts_par(program, cfg, forest, stats, Parallelism::serial())
-        .map(|(r, _)| r)
+    finish_with_artifacts(program, cfg, forest, stats, Parallelism::serial()).map(|(r, _)| r)
 }
 
 /// [`try_run_pipeline_with_artifacts`] with intra-stage parallelism for
@@ -485,7 +647,23 @@ pub fn try_run_pipeline_with_artifacts(
 /// # Errors
 ///
 /// Same as [`try_run_pipeline_with_artifacts`].
+#[deprecated(
+    note = "use `Pipeline::new(program).threads(n).artifacts(forest, stats).run()` instead"
+)]
 pub fn try_run_pipeline_with_artifacts_par(
+    program: &Program,
+    cfg: &PipelineConfig,
+    forest: &SliceForest,
+    stats: RunStats,
+    par: Parallelism,
+) -> Result<(PipelineResult, ParStats), PipelineError> {
+    finish_with_artifacts(program, cfg, forest, stats, par)
+}
+
+/// Finishes a run from trace artifacts: base sim, select, assisted sim
+/// (the implementation behind the deprecated artifact entry points and
+/// the builder's post-trace half).
+pub(crate) fn finish_with_artifacts(
     program: &Program,
     cfg: &PipelineConfig,
     forest: &SliceForest,
@@ -494,9 +672,9 @@ pub fn try_run_pipeline_with_artifacts_par(
 ) -> Result<(PipelineResult, ParStats), PipelineError> {
     cfg.try_validate()?;
     preexec_obs::global().counter("pipeline.runs").inc();
-    let base = try_base_sim(program, cfg)?;
-    let (selection, pstats) = try_select_par(forest, cfg, base.ipc(), par)?;
-    let assisted = try_assisted_sim(program, &selection.pthreads, cfg)?;
+    let base = base_sim_stage(program, cfg)?;
+    let (selection, pstats) = select_stage(forest, cfg, base.ipc(), par)?;
+    let assisted = assisted_sim_stage(program, &selection.pthreads, cfg)?;
     Ok((PipelineResult { stats, base, selection, assisted }, pstats))
 }
 
@@ -526,7 +704,7 @@ pub fn try_run_pipeline(
     program: &Program,
     cfg: &PipelineConfig,
 ) -> Result<PipelineResult, PipelineError> {
-    try_run_pipeline_par(program, cfg, Parallelism::serial()).map(|(r, _)| r)
+    run_full_par(program, cfg, Parallelism::serial()).map(|(r, _)| r)
 }
 
 /// [`try_run_pipeline`] with the intra-job parallelism knob threaded
@@ -539,22 +717,27 @@ pub fn try_run_pipeline(
 /// # Errors
 ///
 /// Same as [`try_run_pipeline`].
+#[deprecated(note = "use `Pipeline::new(program).threads(n).run()` instead")]
 pub fn try_run_pipeline_par(
     program: &Program,
     cfg: &PipelineConfig,
     par: Parallelism,
 ) -> Result<(PipelineResult, PipelineParStats), PipelineError> {
+    run_full_par(program, cfg, par)
+}
+
+/// Full pipeline with the parallelism knob (the implementation behind
+/// [`try_run_pipeline`], the deprecated [`try_run_pipeline_par`], and
+/// the builder's batch path).
+pub(crate) fn run_full_par(
+    program: &Program,
+    cfg: &PipelineConfig,
+    par: Parallelism,
+) -> Result<(PipelineResult, PipelineParStats), PipelineError> {
     cfg.try_validate()?;
-    let (forest, stats, slice_stats) = try_trace_and_slice_warm_par(
-        program,
-        cfg.scope,
-        cfg.max_slice_len,
-        cfg.budget,
-        cfg.warmup,
-        par,
-    )?;
-    let (result, select_stats) =
-        try_run_pipeline_with_artifacts_par(program, cfg, &forest, stats, par)?;
+    let (forest, stats, slice_stats) =
+        trace_batch_par(program, cfg.scope, cfg.max_slice_len, cfg.budget, cfg.warmup, par)?;
+    let (result, select_stats) = finish_with_artifacts(program, cfg, &forest, stats, par)?;
     Ok((result, PipelineParStats { slice: slice_stats, select: select_stats }))
 }
 
@@ -710,6 +893,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the deprecated artifact entry point
     fn staged_pipeline_matches_monolithic() {
         // The artifact-reuse path (cache hit: trace once, finish twice)
         // must reproduce the monolithic run bit-for-bit — this is the

@@ -1,0 +1,76 @@
+//! Pins every deprecated free function byte-identical to the [`Pipeline`]
+//! builder that replaced it.
+//!
+//! The builder collapse is an API migration, not a behaviour change: each
+//! wrapper is a thin delegation to the same `pub(crate)` stage
+//! implementation the builder calls, and this test is the contract that
+//! keeps it that way. `Debug` formatting round-trips every `f64` exactly,
+//! so the string comparisons below are bitwise equality; `write_forest`
+//! covers the persisted artifact.
+
+#![allow(deprecated)] // the point of the file
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use preexec_experiments::{
+    try_assisted_sim, try_base_sim, try_run_pipeline_par, try_run_pipeline_with_artifacts,
+    try_run_pipeline_with_artifacts_par, try_select, try_select_par,
+    try_trace_and_slice_warm_par, Parallelism, Pipeline, PipelineConfig,
+};
+use preexec_slice::write_forest;
+use preexec_workloads::{suite, InputSet};
+
+#[test]
+fn deprecated_wrappers_match_the_builder() {
+    let w = suite().into_iter().find(|w| w.name == "vpr.r").expect("suite has vpr.r");
+    let p = w.build(InputSet::Train);
+    let cfg = PipelineConfig::paper_default(30_000);
+    let par = Parallelism::new(2);
+
+    // Trace stage: wrapper vs `Pipeline::trace`, serial and parallel.
+    let arts = Pipeline::new(&p).config(cfg).trace().expect("builder trace");
+    let (wf, ws, _) = try_trace_and_slice_warm_par(
+        &p, cfg.scope, cfg.max_slice_len, cfg.budget, cfg.warmup, Parallelism::serial(),
+    )
+    .expect("wrapper trace");
+    assert_eq!(write_forest(&wf), write_forest(&arts.forest));
+    assert_eq!(format!("{ws:?}"), format!("{:?}", arts.stats));
+    let (wf2, _, _) = try_trace_and_slice_warm_par(
+        &p, cfg.scope, cfg.max_slice_len, cfg.budget, cfg.warmup, par,
+    )
+    .expect("wrapper trace par");
+    assert_eq!(write_forest(&wf2), write_forest(&arts.forest));
+
+    // Base sim + selection stages against the shared forest.
+    let base = try_base_sim(&p, &cfg).expect("wrapper base sim");
+    let sel = try_select(&arts.forest, &cfg, base.ipc()).expect("wrapper select");
+    let (sel_par, pstats) =
+        try_select_par(&arts.forest, &cfg, base.ipc(), par).expect("wrapper select par");
+    assert_eq!(format!("{sel:?}"), format!("{sel_par:?}"));
+    assert!(pstats.items > 0, "parallel selection saw no items");
+
+    // Artifact finish: wrappers vs `Pipeline::artifacts(..).run()`.
+    let out = Pipeline::new(&p)
+        .config(cfg)
+        .artifacts(arts.forest.clone(), arts.stats.clone())
+        .run()
+        .expect("builder artifact run");
+    let key = format!("{:?}", out.result);
+    let r = try_run_pipeline_with_artifacts(&p, &cfg, &arts.forest, arts.stats.clone())
+        .expect("wrapper artifact run");
+    assert_eq!(format!("{r:?}"), key);
+    let (r_par, _) =
+        try_run_pipeline_with_artifacts_par(&p, &cfg, &arts.forest, arts.stats.clone(), par)
+            .expect("wrapper artifact run par");
+    assert_eq!(format!("{r_par:?}"), key);
+    assert_eq!(format!("{sel:?}"), format!("{:?}", out.result.selection));
+    let asst = try_assisted_sim(&p, &out.result.selection.pthreads, &cfg)
+        .expect("wrapper assisted sim");
+    assert_eq!(format!("{asst:?}"), format!("{:?}", out.result.assisted));
+
+    // Full pipeline: wrapper vs builder, and both against the artifact
+    // path (the stages are mutually independent).
+    let (r_full, _) = try_run_pipeline_par(&p, &cfg, par).expect("wrapper full run");
+    assert_eq!(format!("{r_full:?}"), key);
+    let out_full = Pipeline::new(&p).config(cfg).parallelism(par).run().expect("builder full run");
+    assert_eq!(format!("{:?}", out_full.result), key);
+}

@@ -1,17 +1,17 @@
-//! Cross-thread-count determinism: the full pipeline must produce
-//! byte-identical results at every `Parallelism` setting.
+//! Cross-thread-count and cross-transport determinism: the full pipeline
+//! must produce byte-identical results at every `Parallelism` setting and
+//! on both trace transports (batch and streaming).
 //!
-//! This is the contract that makes `--threads N` safe to default on: the
-//! slice-tree fan-out, the per-candidate scoring fan-out, and the
-//! per-tree selection fixed points all merge in input order, and every
-//! cross-item floating-point accumulation stays serial (see
-//! `preexec_core::par` and DESIGN.md §11). `Debug` formatting round-trips
-//! every `f64` exactly, so string equality below is bitwise equality of
-//! the whole result.
+//! This is the contract that makes `--threads N` and `--stream` safe to
+//! default on: the slice-tree fan-out, the per-candidate scoring fan-out,
+//! and the per-tree selection fixed points all merge in input order,
+//! every cross-item floating-point accumulation stays serial (see
+//! `preexec_core::par` and DESIGN.md §11), and chunk boundaries are a
+//! transport detail the results never observe (§13). `Debug` formatting
+//! round-trips every `f64` exactly, so string equality below is bitwise
+//! equality of the whole result.
 
-use preexec_experiments::{
-    try_run_pipeline_par, try_trace_and_slice_warm_par, Parallelism, PipelineConfig,
-};
+use preexec_experiments::{Pipeline, PipelineConfig};
 use preexec_slice::write_forest;
 use preexec_workloads::{suite, InputSet};
 
@@ -21,41 +21,60 @@ fn pipeline_is_bit_identical_across_thread_counts() {
     let p = w.build(InputSet::Train);
     let cfg = PipelineConfig::paper_default(60_000);
 
-    let (reference, _) =
-        try_run_pipeline_par(&p, &cfg, Parallelism::serial()).expect("serial run");
-    let ref_fmt = format!("{reference:?}");
+    let reference = Pipeline::new(&p).config(cfg).run().expect("serial run");
+    let ref_fmt = format!("{:?}", reference.result);
     // The run must be non-trivial, or identity proves nothing.
-    assert!(!reference.selection.pthreads.is_empty());
-    assert!(reference.base.mem.l2_misses > 0);
+    assert!(!reference.result.selection.pthreads.is_empty());
+    assert!(reference.result.base.mem.l2_misses > 0);
 
     for threads in [2, 8] {
-        let (r, pstats) =
-            try_run_pipeline_par(&p, &cfg, Parallelism::new(threads)).expect("parallel run");
+        let out = Pipeline::new(&p).config(cfg).threads(threads).run().expect("parallel run");
         assert_eq!(
-            format!("{r:?}"),
+            format!("{:?}", out.result),
             ref_fmt,
             "pipeline output differs at threads={threads}"
         );
         // The parallel stages really ran over the work.
-        assert!(pstats.slice.items > 0, "slice stage saw no items");
-        assert!(pstats.select.items > 0, "select stage saw no items");
+        assert!(out.par.slice.items > 0, "slice stage saw no items");
+        assert!(out.par.select.items > 0, "select stage saw no items");
     }
+
+    // The streaming transport is a third point on the same identity.
+    let streamed =
+        Pipeline::new(&p).config(cfg).streaming(true).run().expect("streaming run");
+    assert_eq!(
+        format!("{:?}", streamed.result),
+        ref_fmt,
+        "pipeline output differs between batch and streaming"
+    );
+    assert!(streamed.stream.expect("transport stats").chunks > 0);
 }
 
 #[test]
 fn slice_forest_serializes_identically_across_thread_counts() {
-    // The artifact cache persists forests; a thread-count-dependent byte
-    // stream would poison cache keys across daemon configurations.
+    // The artifact cache persists forests; a thread-count- or
+    // transport-dependent byte stream would poison cache keys across
+    // daemon configurations.
     let w = suite().into_iter().find(|w| w.name == "mcf").expect("suite has mcf");
     let p = w.build(InputSet::Train);
-    let (f1, _, _) =
-        try_trace_and_slice_warm_par(&p, 1024, 32, 40_000, 10_000, Parallelism::serial())
-            .expect("serial trace");
-    let reference = write_forest(&f1);
+    let cfg = PipelineConfig::paper_default(40_000);
+
+    let arts = Pipeline::new(&p).config(cfg).trace().expect("serial trace");
+    let reference = write_forest(&arts.forest);
     for threads in [2, 8] {
-        let (f_n, _, _) =
-            try_trace_and_slice_warm_par(&p, 1024, 32, 40_000, 10_000, Parallelism::new(threads))
-                .expect("parallel trace");
-        assert_eq!(write_forest(&f_n), reference, "forest differs at threads={threads}");
+        let arts_n =
+            Pipeline::new(&p).config(cfg).threads(threads).trace().expect("parallel trace");
+        assert_eq!(
+            write_forest(&arts_n.forest),
+            reference,
+            "forest differs at threads={threads}"
+        );
     }
+    let arts_s =
+        Pipeline::new(&p).config(cfg).streaming(true).trace().expect("streaming trace");
+    assert_eq!(
+        write_forest(&arts_s.forest),
+        reference,
+        "forest differs between batch and streaming"
+    );
 }

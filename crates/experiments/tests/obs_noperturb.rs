@@ -1,10 +1,10 @@
 //! The observability layer's no-perturbation contract: instrumented and
 //! uninstrumented runs of the full pipeline produce byte-identical
-//! results, at any thread count.
+//! results, at any thread count and on both trace transports.
 //!
 //! The [`preexec_obs`] registry is write-only from the pipeline's point
-//! of view — counters, histograms, and spans are recorded but never read
-//! back by the code they instrument — so flipping
+//! of view — counters, gauges, histograms, and spans are recorded but
+//! never read back by the code they instrument — so flipping
 //! [`Registry::set_recording`](preexec_obs::Registry::set_recording)
 //! must not change a single output byte. `Debug` formatting round-trips
 //! every `f64` exactly, so string equality below is bitwise equality of
@@ -15,10 +15,7 @@
 //! toggles the *global* registry's recording flag, which would race with
 //! unit tests sharing the process.
 
-use preexec_experiments::{
-    try_run_pipeline_with_artifacts_par, try_trace_and_slice_warm_par, Parallelism,
-    PipelineConfig,
-};
+use preexec_experiments::{Pipeline, PipelineConfig};
 use preexec_slice::write_forest;
 use preexec_workloads::{suite, InputSet};
 
@@ -29,43 +26,39 @@ fn recording_does_not_perturb_pipeline_output() {
     let cfg = PipelineConfig::paper_default(60_000);
     let registry = preexec_obs::global();
 
-    // One full run at a given thread count, reduced to bytes: the Debug
-    // rendering of the pipeline result plus the serialized slice forest.
-    let run = |threads: usize| {
-        let par = Parallelism::new(threads);
-        let (forest, stats, _) = try_trace_and_slice_warm_par(
-            &p,
-            cfg.scope,
-            cfg.max_slice_len,
-            cfg.budget,
-            cfg.warmup,
-            par,
-        )
-        .expect("trace");
-        let (r, _) = try_run_pipeline_with_artifacts_par(&p, &cfg, &forest, stats, par)
+    // One full run per configuration point — serial, 8-thread, and
+    // streaming — reduced to bytes: the Debug rendering of the pipeline
+    // result plus the serialized slice forest.
+    let run = |threads: usize, streaming: bool| {
+        let out = Pipeline::new(&p)
+            .config(cfg)
+            .threads(threads)
+            .streaming(streaming)
+            .run()
             .expect("pipeline");
-        (format!("{r:?}"), write_forest(&forest))
+        (format!("{:?}", out.result), write_forest(&out.forest))
     };
+    let points = [(1usize, false), (8, false), (1, true)];
 
     // Reference: recording off — every handle is a no-op, which is the
     // "uninstrumented" configuration without a second code path.
     registry.set_recording(false);
-    let reference: Vec<_> = [1, 8].into_iter().map(run).collect();
+    let reference: Vec<_> = points.iter().map(|&(t, s)| run(t, s)).collect();
     let quiet_samples: u64 =
         registry.snapshot().histograms.iter().map(|(_, h)| h.count()).sum();
     assert_eq!(quiet_samples, 0, "recording off still recorded samples");
 
     // Instrumented: recording on, same runs, same bytes.
     registry.set_recording(true);
-    for (i, threads) in [1usize, 8].into_iter().enumerate() {
-        let (result, forest) = run(threads);
+    for (i, &(threads, streaming)) in points.iter().enumerate() {
+        let (result, forest) = run(threads, streaming);
         assert_eq!(
             result, reference[i].0,
-            "pipeline output perturbed by recording at threads={threads}"
+            "pipeline output perturbed by recording at threads={threads} streaming={streaming}"
         );
         assert_eq!(
             forest, reference[i].1,
-            "slice forest perturbed by recording at threads={threads}"
+            "slice forest perturbed by recording at threads={threads} streaming={streaming}"
         );
     }
 
@@ -90,7 +83,13 @@ fn recording_does_not_perturb_pipeline_output() {
     let counter = |name: &str| {
         snap.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
     };
-    assert!(counter("pipeline.runs") >= 2, "pipeline.runs not counted");
+    assert!(counter("pipeline.runs") >= 3, "pipeline.runs not counted");
     assert!(counter("select.candidates") > 0, "select.candidates not counted");
     assert!(counter("par.items") > 0, "par pool recorded no items");
+    // The streaming leg's transport instrumentation fired too.
+    assert!(counter("stream.chunks") > 0, "stream.chunks not counted");
+    let gauge = |name: &str| {
+        snap.gauges.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    };
+    assert!(gauge("stream.peak_window_insts") > 0, "peak gauge not set");
 }

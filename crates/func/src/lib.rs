@@ -28,6 +28,7 @@ pub mod exec;
 pub mod pthread;
 pub mod sampling;
 pub mod stats;
+pub mod stream;
 pub mod tracer;
 
 pub use cpu::{Cpu, StepOutcome};
@@ -36,4 +37,5 @@ pub use error::ExecError;
 pub use pthread::{run_pthread, PThreadOutcome, PThreadRun, SquashReason, PTHREAD_ADDR_LIMIT};
 pub use sampling::{Phase, Sampling};
 pub use stats::{LoadSiteStats, RunStats};
+pub use stream::{try_run_trace_chunked, StreamConfig, StreamStats};
 pub use tracer::{run_trace, try_run_trace, TraceConfig};

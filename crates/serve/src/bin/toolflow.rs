@@ -3,7 +3,7 @@
 //! reads the file and generates p-thread sets for several machine
 //! configurations quickly, without re-tracing.
 //!
-//! Usage: `toolflow [--jobs N] [--threads N] [--profile] [workload[,workload...]|all] [budget] [out.slices]`
+//! Usage: `toolflow [--jobs N] [--threads N] [--stream] [--profile] [workload[,workload...]|all] [budget] [out.slices]`
 //!        `toolflow [--threads N] [--profile] --read <file.slices>` (selection only, no re-tracing)
 //!
 //! With several workloads the runs are scheduled over `--jobs N` worker
@@ -18,6 +18,13 @@
 //! serial (DESIGN.md §11) — so the two knobs compose freely:
 //! `--jobs` trades throughput across workloads, `--threads` latency
 //! within one.
+//!
+//! `--stream` traces through the bounded-memory streaming path: the
+//! functional simulator runs on a producer thread, feeding the slicer
+//! fixed-size chunks through a bounded channel, so peak memory is
+//! O(window + chunk) instead of O(trace). stdout (slice files and
+//! selections) is byte-identical with and without the flag — the CI
+//! determinism matrix diffs the two.
 //!
 //! `--profile` prints a per-stage wall-clock profile table (count, total,
 //! mean, p50/p99 bounds, max — from the [`preexec_obs`] registry) to
@@ -39,7 +46,7 @@
 //! workload's code (in submission order).
 
 use preexec_core::{select_pthreads_par, Parallelism, SelectionParams};
-use preexec_experiments::pipeline::try_trace_and_slice_warm_par;
+use preexec_experiments::Pipeline;
 use preexec_serve::scheduler::{JobCompletion, Scheduler};
 use preexec_slice::{read_forest, read_forest_lenient, write_forest, SliceForest};
 use preexec_workloads::{suite, InputSet, Workload};
@@ -83,11 +90,13 @@ fn run(args: &[String]) -> Result<u8, Failure> {
     let mut jobs: usize = 1;
     let mut threads: usize = 1;
     let mut profile = false;
+    let mut stream = false;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--profile" => profile = true,
+            "--stream" => stream = true,
             "--jobs" => {
                 let v = it
                     .next()
@@ -180,7 +189,7 @@ fn run(args: &[String]) -> Result<u8, Failure> {
             let par = Parallelism::new(threads);
             sched
                 .submit(Box::new(move || {
-                    JobCompletion::Done(run_workload(&name, &program, budget, &path, par))
+                    JobCompletion::Done(run_workload(&name, &program, budget, &path, par, stream))
                 }))
                 .map_err(|e| Failure::new(2, format!("submitting {}: {e}", w.name)))
         })
@@ -258,18 +267,23 @@ fn run_workload(
     budget: u64,
     path: &str,
     par: Parallelism,
+    stream: bool,
 ) -> JobReport {
     let mut report = JobReport::default();
-    // Pass 1 (expensive, once): trace and slice, write the file.
-    let (forest, stats, _) =
-        match try_trace_and_slice_warm_par(program, 1024, 32, budget, budget / 4, par) {
-            Ok(x) => x,
-            Err(e) => {
-                let _ = writeln!(report.stderr, "toolflow: tracing {name}: {e}");
-                report.code = 5;
-                return report;
-            }
-        };
+    // Pass 1 (expensive, once): trace and slice, write the file. The
+    // builder defaults match the paper toolflow (scope 1024, slice len
+    // 32); `--stream` swaps in the bounded-memory transport with a
+    // byte-identical forest.
+    let arts = match Pipeline::new(program).budget(budget).parallelism(par).streaming(stream).trace()
+    {
+        Ok(x) => x,
+        Err(e) => {
+            let _ = writeln!(report.stderr, "toolflow: tracing {name}: {e}");
+            report.code = 5;
+            return report;
+        }
+    };
+    let (forest, stats) = (arts.forest, arts.stats);
     if let Err(e) = std::fs::write(path, write_forest(&forest)) {
         let _ = writeln!(report.stderr, "toolflow: writing {path}: {e}");
         report.code = 3;

@@ -48,7 +48,7 @@ pub mod service;
 pub use cache::{ArtifactCache, CacheStats, TraceKey};
 pub use histogram::{histogram_json, Histogram};
 pub use json::Json;
-pub use proto::{parse_request, Request};
+pub use proto::{parse_request, ProtoError, Request, PROTOCOL_VERSION};
 pub use scheduler::{
     JobCompletion, JobId, JobState, Scheduler, SchedulerStats, SubmitError,
 };

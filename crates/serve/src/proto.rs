@@ -1,7 +1,11 @@
 //! The newline-delimited JSON wire protocol.
 //!
 //! One request per line, one response line per request. Every response
-//! carries `"ok"`: `true` with the payload, or `false` with `"error"`.
+//! carries `"protocol_version"` ([`PROTOCOL_VERSION`]) and `"ok"`:
+//! `true` with the payload, or `false` with a human-readable `"error"`
+//! message *and* a stable machine-readable `"code"` (see
+//! [`ProtoError::code`] — messages may be reworded between releases,
+//! codes may not).
 //!
 //! | `cmd` | fields | response payload |
 //! |-------|--------|------------------|
@@ -21,11 +25,119 @@
 
 use crate::cache::parse_input;
 use crate::json::Json;
-use crate::scheduler::JobId;
+use crate::scheduler::{JobId, SubmitError};
 use crate::service::{JobOutput, JobSpec};
 use preexec_experiments::pipeline::pct;
-use preexec_experiments::PipelineConfig;
+use preexec_experiments::{PipelineConfig, PipelineError};
 use preexec_workloads::InputSet;
+use std::fmt;
+
+/// Wire-protocol version stamped on every response. Bumped whenever a
+/// response's shape changes incompatibly; version 2 introduced the
+/// `code` field on errors and this stamp itself.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// A protocol-level failure: why a request line could not be parsed or
+/// served. [`code`](ProtoError::code) is the stable contract; the
+/// [`Display`](fmt::Display) message is advisory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// The line was not valid JSON (carries the parser's message).
+    BadJson(String),
+    /// `cmd` named no known verb.
+    UnknownCmd(String),
+    /// A field was missing, null when required, or mistyped.
+    BadField {
+        /// The offending field name.
+        field: &'static str,
+        /// What the field must be, e.g. `"a string"`.
+        expected: &'static str,
+    },
+    /// The submitted workload is not in the suite (carries the resolver's
+    /// message, which lists the valid names).
+    UnknownWorkload(String),
+    /// The submitted input-set name is unknown.
+    UnknownInput(String),
+    /// The submitted configuration failed validation at the door.
+    Config(PipelineError),
+    /// The scheduler rejected the submission (queue full / draining).
+    Submit(SubmitError),
+    /// No job with that id was ever submitted.
+    UnknownJob(JobId),
+    /// The job exists but has not reached a terminal state.
+    NotFinished {
+        /// The job being polled.
+        job: JobId,
+        /// Its current state name.
+        state: &'static str,
+    },
+}
+
+impl ProtoError {
+    /// The stable machine-readable code for this error. Pipeline codes
+    /// pass through [`PipelineError::code`], so a rejected configuration
+    /// reports the same code at submit time as it would have at run time.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtoError::BadJson(_) => "bad_json",
+            ProtoError::UnknownCmd(_) => "unknown_cmd",
+            ProtoError::BadField { .. } => "bad_field",
+            ProtoError::UnknownWorkload(_) => "unknown_workload",
+            ProtoError::UnknownInput(_) => "unknown_input",
+            ProtoError::Config(e) => e.code(),
+            ProtoError::Submit(SubmitError::QueueFull { .. }) => "queue_full",
+            ProtoError::Submit(SubmitError::ShuttingDown) => "shutting_down",
+            ProtoError::UnknownJob(_) => "unknown_job",
+            ProtoError::NotFinished { .. } => "job_not_finished",
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::BadJson(m) | ProtoError::UnknownWorkload(m) => write!(f, "{m}"),
+            ProtoError::UnknownCmd(c) => write!(
+                f,
+                "unknown cmd `{c}` (expected submit, status, result, stats, metrics, or shutdown)"
+            ),
+            ProtoError::BadField { field, expected } => {
+                write!(f, "field `{field}` must be {expected}")
+            }
+            ProtoError::UnknownInput(name) => {
+                write!(f, "unknown input `{name}` (train, test, or alt)")
+            }
+            ProtoError::Config(e) => write!(f, "{e}"),
+            ProtoError::Submit(e) => write!(f, "{e}"),
+            ProtoError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            ProtoError::NotFinished { job, state } => {
+                write!(f, "job {job} is {state} — poll `status` until it finishes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Config(e) => Some(e),
+            ProtoError::Submit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SubmitError> for ProtoError {
+    fn from(e: SubmitError) -> ProtoError {
+        ProtoError::Submit(e)
+    }
+}
+
+impl From<PipelineError> for ProtoError {
+    fn from(e: PipelineError) -> ProtoError {
+        ProtoError::Config(e)
+    }
+}
 
 /// A parsed request.
 #[derive(Clone)]
@@ -48,15 +160,15 @@ pub enum Request {
 ///
 /// # Errors
 ///
-/// Returns a human-readable message for malformed JSON, unknown
-/// commands, missing/mistyped fields, unknown workloads, or an invalid
-/// pipeline configuration (validated *before* the job is queued).
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let json = Json::parse(line).map_err(|e| e.to_string())?;
+/// Returns a typed [`ProtoError`] for malformed JSON, unknown commands,
+/// missing/mistyped fields, unknown workloads, or an invalid pipeline
+/// configuration (validated *before* the job is queued).
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let json = Json::parse(line).map_err(|e| ProtoError::BadJson(e.to_string()))?;
     let cmd = json
         .get("cmd")
         .and_then(Json::as_str)
-        .ok_or_else(|| "missing string field `cmd`".to_string())?;
+        .ok_or(ProtoError::BadField { field: "cmd", expected: "a string" })?;
     match cmd {
         "submit" => parse_submit(&json).map(|s| Request::Submit(Box::new(s))),
         "status" => job_id(&json).map(Request::Status),
@@ -64,59 +176,58 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
-        other => Err(format!(
-            "unknown cmd `{other}` (expected submit, status, result, stats, metrics, or shutdown)"
-        )),
+        other => Err(ProtoError::UnknownCmd(other.to_string())),
     }
 }
 
-fn job_id(json: &Json) -> Result<JobId, String> {
+fn job_id(json: &Json) -> Result<JobId, ProtoError> {
     json.get("job")
         .and_then(Json::as_u64)
-        .ok_or_else(|| "missing numeric field `job`".to_string())
+        .ok_or(ProtoError::BadField { field: "job", expected: "a non-negative integer" })
 }
 
-fn opt_u64(json: &Json, key: &str) -> Result<Option<u64>, String> {
+fn opt_u64(json: &Json, key: &'static str) -> Result<Option<u64>, ProtoError> {
     match json.get(key) {
         None | Some(Json::Null) => Ok(None),
         Some(v) => v
             .as_u64()
             .map(Some)
-            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+            .ok_or(ProtoError::BadField { field: key, expected: "a non-negative integer" }),
     }
 }
 
-fn opt_f64(json: &Json, key: &str) -> Result<Option<f64>, String> {
+fn opt_f64(json: &Json, key: &'static str) -> Result<Option<f64>, ProtoError> {
     match json.get(key) {
         None | Some(Json::Null) => Ok(None),
         Some(v) => v
             .as_f64()
             .map(Some)
-            .ok_or_else(|| format!("field `{key}` must be a number")),
+            .ok_or(ProtoError::BadField { field: key, expected: "a number" }),
     }
 }
 
-fn opt_bool(json: &Json, key: &str) -> Result<Option<bool>, String> {
+fn opt_bool(json: &Json, key: &'static str) -> Result<Option<bool>, ProtoError> {
     match json.get(key) {
         None | Some(Json::Null) => Ok(None),
         Some(v) => v
             .as_bool()
             .map(Some)
-            .ok_or_else(|| format!("field `{key}` must be a boolean")),
+            .ok_or(ProtoError::BadField { field: key, expected: "a boolean" }),
     }
 }
 
-fn parse_submit(json: &Json) -> Result<JobSpec, String> {
+fn parse_submit(json: &Json) -> Result<JobSpec, ProtoError> {
     let workload = json
         .get("workload")
         .and_then(Json::as_str)
-        .ok_or_else(|| "submit needs a string field `workload`".to_string())?;
+        .ok_or(ProtoError::BadField { field: "workload", expected: "a string" })?;
     let input = match json.get("input") {
         None | Some(Json::Null) => InputSet::Train,
         Some(v) => {
-            let name = v.as_str().ok_or("field `input` must be a string")?;
-            parse_input(name)
-                .ok_or_else(|| format!("unknown input `{name}` (train, test, or alt)"))?
+            let name = v
+                .as_str()
+                .ok_or(ProtoError::BadField { field: "input", expected: "a string" })?;
+            parse_input(name).ok_or_else(|| ProtoError::UnknownInput(name.to_string()))?
         }
     };
     let budget = opt_u64(json, "budget")?.unwrap_or(120_000);
@@ -140,7 +251,8 @@ fn parse_submit(json: &Json) -> Result<JobSpec, String> {
         cfg.merge = x;
     }
     if let Some(x) = opt_u64(json, "width")? {
-        cfg.machine.width = u32::try_from(x).map_err(|_| "field `width` too large")?;
+        cfg.machine.width = u32::try_from(x)
+            .map_err(|_| ProtoError::BadField { field: "width", expected: "a 32-bit integer" })?;
     }
     if let Some(x) = opt_u64(json, "mem_latency")? {
         cfg.machine.mem_latency = x;
@@ -153,18 +265,26 @@ fn parse_submit(json: &Json) -> Result<JobSpec, String> {
     }
     // Reject bad configurations at the door: a queued job that can only
     // fail wastes a worker slot and hides the mistake from the client.
-    cfg.try_validate().map_err(|e| e.to_string())?;
-    JobSpec::new(workload, input, cfg)
+    cfg.try_validate().map_err(ProtoError::Config)?;
+    JobSpec::new(workload, input, cfg).map_err(ProtoError::UnknownWorkload)
 }
 
-/// `{"ok": false, "error": message}`.
-pub fn error_response(message: &str) -> Json {
-    Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::str(message))])
+/// `{"ok": false, "protocol_version": V, "error": message, "code": code}`.
+pub fn error_response(err: &ProtoError) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("protocol_version", Json::num_u64(PROTOCOL_VERSION)),
+        ("error", Json::str(err.to_string())),
+        ("code", Json::str(err.code())),
+    ])
 }
 
-/// `{"ok": true, ...fields}`.
+/// `{"ok": true, "protocol_version": V, ...fields}`.
 pub fn ok_response(fields: Vec<(&str, Json)>) -> Json {
-    let mut pairs = vec![("ok", Json::Bool(true))];
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("protocol_version", Json::num_u64(PROTOCOL_VERSION)),
+    ];
     pairs.extend(fields);
     Json::obj(pairs)
 }
@@ -269,31 +389,70 @@ mod tests {
     }
 
     #[test]
-    fn submit_rejects_bad_requests_with_messages() {
-        for (line, needle) in [
-            ("not json", "JSON"),
-            (r#"{"cmd":"submit"}"#, "workload"),
-            (r#"{"cmd":"submit","workload":"nope"}"#, "unknown workload"),
-            (r#"{"cmd":"submit","workload":"mcf","input":"huge"}"#, "unknown input"),
-            (r#"{"cmd":"submit","workload":"mcf","budget":0}"#, "budget"),
-            (r#"{"cmd":"submit","workload":"mcf","width":0}"#, "width"),
-            (r#"{"cmd":"submit","workload":"mcf","budget":-3}"#, "budget"),
-            (r#"{"cmd":"status"}"#, "job"),
-            (r#"{"cmd":"wat"}"#, "unknown cmd"),
-            (r#"{}"#, "cmd"),
+    fn submit_rejects_bad_requests_with_messages_and_codes() {
+        for (line, needle, code) in [
+            ("not json", "JSON", "bad_json"),
+            (r#"{"cmd":"submit"}"#, "workload", "bad_field"),
+            (r#"{"cmd":"submit","workload":"nope"}"#, "unknown workload", "unknown_workload"),
+            (
+                r#"{"cmd":"submit","workload":"mcf","input":"huge"}"#,
+                "unknown input",
+                "unknown_input",
+            ),
+            (r#"{"cmd":"submit","workload":"mcf","budget":0}"#, "budget", "config.zero_budget"),
+            (r#"{"cmd":"submit","workload":"mcf","width":0}"#, "width", "config.machine"),
+            (r#"{"cmd":"submit","workload":"mcf","budget":-3}"#, "budget", "bad_field"),
+            (r#"{"cmd":"status"}"#, "job", "bad_field"),
+            (r#"{"cmd":"wat"}"#, "unknown cmd", "unknown_cmd"),
+            (r#"{}"#, "cmd", "bad_field"),
         ] {
-            let e = parse_request(line).err().unwrap_or_default();
-            assert!(e.contains(needle), "`{line}` → `{e}` (wanted `{needle}`)");
+            let Err(e) = parse_request(line) else {
+                panic!("`{line}` must be rejected");
+            };
+            let msg = e.to_string();
+            assert!(msg.contains(needle), "`{line}` → `{msg}` (wanted `{needle}`)");
+            assert_eq!(e.code(), code, "`{line}` code");
         }
     }
 
     #[test]
-    fn responses_have_the_ok_envelope() {
+    fn config_rejection_reuses_the_pipeline_error_code() {
+        let Err(e) = parse_request(r#"{"cmd":"submit","workload":"mcf","scope":0}"#) else {
+            panic!("zero scope must be rejected");
+        };
+        assert_eq!(e, ProtoError::Config(preexec_experiments::PipelineError::ZeroScope));
+        assert_eq!(e.code(), preexec_experiments::PipelineError::ZeroScope.code());
+    }
+
+    #[test]
+    fn responses_have_the_versioned_ok_envelope() {
         let ok = ok_response(vec![("job", Json::num_u64(4))]);
         assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(ok.get("job").and_then(Json::as_u64), Some(4));
-        let err = error_response("nope");
+        assert_eq!(
+            ok.get("protocol_version").and_then(Json::as_u64),
+            Some(PROTOCOL_VERSION)
+        );
+        let err = error_response(&ProtoError::UnknownJob(7));
         assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
-        assert_eq!(err.get("error").and_then(Json::as_str), Some("nope"));
+        assert_eq!(err.get("error").and_then(Json::as_str), Some("unknown job 7"));
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("unknown_job"));
+        assert_eq!(
+            err.get("protocol_version").and_then(Json::as_u64),
+            Some(PROTOCOL_VERSION)
+        );
+    }
+
+    #[test]
+    fn submit_errors_map_to_distinct_codes() {
+        assert_eq!(
+            ProtoError::from(SubmitError::QueueFull { cap: 4 }).code(),
+            "queue_full"
+        );
+        assert_eq!(ProtoError::from(SubmitError::ShuttingDown).code(), "shutting_down");
+        assert_eq!(
+            ProtoError::NotFinished { job: 3, state: "running" }.code(),
+            "job_not_finished"
+        );
     }
 }

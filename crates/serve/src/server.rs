@@ -16,7 +16,7 @@
 use crate::cache::ArtifactCache;
 use crate::histogram::histogram_json;
 use crate::json::Json;
-use crate::proto::{error_response, ok_response, parse_request, result_json, Request};
+use crate::proto::{error_response, ok_response, parse_request, result_json, ProtoError, Request};
 use crate::scheduler::{JobCompletion, Scheduler, SubmitError};
 use crate::service::{run_job, JobOutput, StageHists};
 use preexec_core::par::Parallelism;
@@ -202,10 +202,10 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
 /// Executes one request line and builds the response.
 fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
     match parse_request(line) {
-        Err(message) => error_response(&message),
+        Err(e) => error_response(&e),
         Ok(Request::Submit(spec)) => {
             if shared.shutting_down.load(Ordering::SeqCst) {
-                return error_response(&SubmitError::ShuttingDown.to_string());
+                return error_response(&ProtoError::from(SubmitError::ShuttingDown));
             }
             // The worker may outlive this connection; the closure keeps
             // the cache and histograms alive through its own Arc.
@@ -216,11 +216,11 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
             }));
             match submitted {
                 Ok(id) => ok_response(vec![("job", Json::num_u64(id))]),
-                Err(e) => error_response(&e.to_string()),
+                Err(e) => error_response(&ProtoError::from(e)),
             }
         }
         Ok(Request::Status(id)) => match shared.sched.state(id) {
-            None => error_response(&format!("unknown job {id}")),
+            None => error_response(&ProtoError::UnknownJob(id)),
             Some(state) => {
                 let mut fields = vec![
                     ("job", Json::num_u64(id)),
@@ -228,19 +228,20 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                 ];
                 if let Some(JobCompletion::Failed(e)) = shared.sched.completion(id) {
                     fields.push(("error", Json::str(e.to_string())));
+                    fields.push(("code", Json::str(e.code())));
                 } else if let Some(JobCompletion::Panicked(msg)) = shared.sched.completion(id) {
                     fields.push(("error", Json::str(msg)));
+                    fields.push(("code", Json::str("job_panicked")));
                 }
                 ok_response(fields)
             }
         },
         Ok(Request::Result(id)) => match shared.sched.completion(id) {
             None => match shared.sched.state(id) {
-                None => error_response(&format!("unknown job {id}")),
-                Some(state) => error_response(&format!(
-                    "job {id} is {} — poll `status` until it finishes",
-                    state.name()
-                )),
+                None => error_response(&ProtoError::UnknownJob(id)),
+                Some(state) => {
+                    error_response(&ProtoError::NotFinished { job: id, state: state.name() })
+                }
             },
             Some(completion) => {
                 let state = completion.state();
@@ -252,15 +253,21 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                             ("result", result_json(&out)),
                         ])
                     }
+                    // A failed job is a served request (`ok: true`) whose
+                    // payload is an error; `code` preserves the
+                    // PipelineError taxonomy that a bare string used to
+                    // flatten away.
                     JobCompletion::Failed(e) => ok_response(vec![
                         ("job", Json::num_u64(id)),
                         ("state", Json::str(state.name())),
                         ("error", Json::str(e.to_string())),
+                        ("code", Json::str(e.code())),
                     ]),
                     JobCompletion::Panicked(msg) => ok_response(vec![
                         ("job", Json::num_u64(id)),
                         ("state", Json::str(state.name())),
                         ("error", Json::str(msg)),
+                        ("code", Json::str("job_panicked")),
                     ]),
                 }
             }

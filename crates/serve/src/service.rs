@@ -1,11 +1,11 @@
 //! Job execution: one batch-analysis job through the staged pipeline,
 //! with artifact-cache reuse and per-stage latency accounting.
 //!
-//! A job is (workload, input, [`PipelineConfig`]). Execution runs the
-//! four stages separately — exactly the split
-//! [`preexec_experiments::pipeline`] exposes — so the expensive
-//! trace+slice stage can be served from the [`ArtifactCache`] and each
-//! stage's wall-clock latency lands in its own [`Histogram`]:
+//! A job is (workload, input, [`PipelineConfig`]). Execution goes
+//! through the [`Pipeline`] builder, whose output separates the four
+//! stages — so the expensive trace+slice stage can be served from the
+//! [`ArtifactCache`] and each stage's wall-clock latency lands in its
+//! own [`Histogram`]:
 //!
 //! 1. **trace+slice** (cacheable): keyed by everything it depends on;
 //! 2. **base sim**: machine-dependent, always runs;
@@ -20,12 +20,10 @@ use crate::cache::{ArtifactCache, TraceKey};
 use crate::histogram::{histogram_json, Histogram};
 use crate::scheduler::JobCompletion;
 use preexec_core::par::{ParStats, Parallelism};
-use preexec_experiments::pipeline::{try_assisted_sim, try_base_sim, try_select_par};
-use preexec_experiments::{try_trace_and_slice_warm_par, PipelineConfig, PipelineResult};
+use preexec_experiments::{Pipeline, PipelineConfig, PipelineResult};
 use preexec_workloads::{by_name, InputSet, Workload};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// A fully-resolved job: what to run and under which configuration.
 #[derive(Debug, Clone)]
@@ -226,72 +224,46 @@ pub fn run_job(
         return JobCompletion::Failed(e);
     }
     let program = spec.workload.build(spec.input);
-    let cfg = &spec.cfg;
-    let mut stage_us = StageMicros::default();
-
     let key = spec.trace_key();
-    let t = Instant::now();
-    let (forest, stats, cache_hit) = match cache.load(&key) {
-        Some((forest, stats)) => (forest, stats, true),
-        None => {
-            match try_trace_and_slice_warm_par(
-                &program,
-                cfg.scope,
-                cfg.max_slice_len,
-                cfg.budget,
-                cfg.warmup,
-                par,
-            ) {
-                Ok((forest, stats, pstats)) => {
-                    hists.par.record_slice(&pstats);
-                    // A failed store only costs a future recompute.
-                    let _ = cache.store(&key, &forest, &stats);
-                    (forest, stats, false)
-                }
-                Err(e) => return JobCompletion::Failed(e),
-            }
+
+    let mut pipe = Pipeline::new(&program).config(spec.cfg).parallelism(par);
+    let cache_hit = match cache.load(&key) {
+        Some((forest, stats)) => {
+            pipe = pipe.artifacts(forest, stats);
+            true
         }
+        None => false,
+    };
+    let out = match pipe.run() {
+        Ok(out) => out,
+        Err(e) => return JobCompletion::Failed(e),
     };
     if !cache_hit {
-        stage_us.trace = elapsed_us(t);
+        hists.par.record_slice(&out.par.slice);
+        // A failed store only costs a future recompute.
+        let _ = cache.store(&key, &out.forest, &out.result.stats);
     }
-
-    let t = Instant::now();
-    let base = match try_base_sim(&program, cfg) {
-        Ok(r) => r,
-        Err(e) => return JobCompletion::Failed(e),
+    hists.par.record_select(&out.par.select);
+    let stage_us = StageMicros {
+        trace: out.stage_us.trace,
+        base_sim: out.stage_us.base_sim,
+        select: out.stage_us.select,
+        assisted_sim: out.stage_us.assisted_sim,
     };
-    stage_us.base_sim = elapsed_us(t);
-
-    let t = Instant::now();
-    let selection = match try_select_par(&forest, cfg, base.ipc(), par) {
-        Ok((s, pstats)) => {
-            hists.par.record_select(&pstats);
-            s
-        }
-        Err(e) => return JobCompletion::Failed(e),
-    };
-    stage_us.select = elapsed_us(t);
-
-    let t = Instant::now();
-    let assisted = match try_assisted_sim(&program, &selection.pthreads, cfg) {
-        Ok(r) => r,
-        Err(e) => return JobCompletion::Failed(e),
-    };
-    stage_us.assisted_sim = elapsed_us(t);
+    let result = out.result;
 
     hists.record(&stage_us, cache_hit);
     let journal = preexec_obs::global().journal();
-    if assisted.squashes > 0 {
+    if result.assisted.squashes > 0 {
         journal.note(
             "squash",
             &format!(
                 "{} p-thread squashes during assisted sim of {}",
-                assisted.squashes, spec.workload_name
+                result.assisted.squashes, spec.workload_name
             ),
         );
     }
-    let timed_out = base.timed_out || assisted.timed_out;
+    let timed_out = result.base.timed_out || result.assisted.timed_out;
     if timed_out {
         journal.note(
             "watchdog",
@@ -301,7 +273,7 @@ pub fn run_job(
     let output = JobOutput {
         workload: spec.workload_name.clone(),
         input: spec.input,
-        result: PipelineResult { stats, base, selection, assisted },
+        result,
         cache_hit,
         stage_us,
     };
@@ -310,10 +282,6 @@ pub fn run_job(
     } else {
         JobCompletion::Done(output)
     }
-}
-
-fn elapsed_us(t: Instant) -> u64 {
-    t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
 }
 
 #[cfg(test)]
