@@ -93,11 +93,19 @@ pub struct PipelineOutput {
     pub artifacts_reused: bool,
 }
 
+/// A stage-boundary hook: consulted with the stage name (`"trace"`,
+/// `"base_sim"`, `"select"`, `"assisted_sim"`) immediately before each
+/// stage starts. Returning an error aborts the run with that error —
+/// this is how the service implements cancellation and wall-clock
+/// deadlines without the pipeline knowing about either: the watchdogs
+/// bound each stage, the gate decides whether the next one may begin.
+pub type StageGate<'g> = &'g (dyn Fn(&'static str) -> Result<(), PipelineError> + Sync);
+
 /// Builder for one pipeline run over one workload program.
 ///
 /// See the [module docs](self) for the knob model and the determinism
 /// contract.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Pipeline<'p> {
     program: &'p Program,
     cfg: PipelineConfig,
@@ -105,6 +113,20 @@ pub struct Pipeline<'p> {
     streaming: bool,
     stream: StreamConfig,
     artifacts: Option<(SliceForest, RunStats)>,
+    gate: Option<StageGate<'p>>,
+}
+
+impl std::fmt::Debug for Pipeline<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("cfg", &self.cfg)
+            .field("par", &self.par)
+            .field("streaming", &self.streaming)
+            .field("stream", &self.stream)
+            .field("artifacts", &self.artifacts.is_some())
+            .field("gate", &self.gate.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'p> Pipeline<'p> {
@@ -120,6 +142,7 @@ impl<'p> Pipeline<'p> {
             streaming: false,
             stream: StreamConfig::default(),
             artifacts: None,
+            gate: None,
         }
     }
 
@@ -178,6 +201,21 @@ impl<'p> Pipeline<'p> {
         self
     }
 
+    /// Installs a [`StageGate`] consulted before each stage starts. No
+    /// gate (the default) admits every stage.
+    #[must_use]
+    pub fn gate(mut self, gate: StageGate<'p>) -> Self {
+        self.gate = Some(gate);
+        self
+    }
+
+    fn check_gate(&self, stage: &'static str) -> Result<(), PipelineError> {
+        match self.gate {
+            Some(gate) => gate(stage),
+            None => Ok(()),
+        }
+    }
+
     /// Runs only the trace+slice stage, returning the artifacts (the
     /// decoupled toolflow's expensive half; feed the result back through
     /// [`artifacts`](Self::artifacts) to finish later).
@@ -206,18 +244,26 @@ impl<'p> Pipeline<'p> {
         let program = self.program;
         let cfg = self.cfg;
         let par = self.par;
+        let gate = self.gate;
+        let check = |stage: &'static str| match gate {
+            Some(g) => g(stage),
+            None => Ok(()),
+        };
         let artifacts_reused = self.artifacts.is_some();
         let (arts, trace_us) = self.trace_stage()?;
         let mut stage_us = StageUs { trace: trace_us, ..StageUs::default() };
 
+        check("base_sim")?;
         let t = Instant::now();
         let base = pipeline::base_sim_stage(program, &cfg)?;
         stage_us.base_sim = elapsed_us(t);
 
+        check("select")?;
         let t = Instant::now();
         let (selection, select_par) = pipeline::select_stage(&arts.forest, &cfg, base.ipc(), par)?;
         stage_us.select = elapsed_us(t);
 
+        check("assisted_sim")?;
         let t = Instant::now();
         let assisted = pipeline::assisted_sim_stage(program, &selection.pthreads, &cfg)?;
         stage_us.assisted_sim = elapsed_us(t);
@@ -241,6 +287,7 @@ impl<'p> Pipeline<'p> {
             let arts = TraceArtifacts { forest, stats, par: serial, stream: None };
             return Ok((arts, 0));
         }
+        self.check_gate("trace")?;
         let t = Instant::now();
         let arts = if self.streaming {
             let (forest, stats, stream) = pipeline::try_trace_and_slice_streamed(
@@ -331,6 +378,51 @@ mod tests {
         let s = out.stream.expect("streaming stats");
         assert!(s.chunks > 0);
         assert_eq!(key(&out.result), key(&batch.result));
+    }
+
+    #[test]
+    fn gate_aborts_at_the_named_stage_boundary() {
+        let p = vpr();
+        let c = cfg();
+        // A gate that admits everything changes nothing.
+        let open = |_: &'static str| Ok(());
+        let whole = Pipeline::new(&p).config(c).run().unwrap();
+        let gated = Pipeline::new(&p).config(c).gate(&open).run().unwrap();
+        assert_eq!(key(&gated.result), key(&whole.result));
+        // A gate that rejects `select` lets trace + base sim finish, then
+        // aborts with exactly the gate's error.
+        let cut = |stage: &'static str| {
+            if stage == "select" {
+                Err(PipelineError::Cancelled { stage: "select" })
+            } else {
+                Ok(())
+            }
+        };
+        assert_eq!(
+            Pipeline::new(&p).config(c).gate(&cut).run().unwrap_err(),
+            PipelineError::Cancelled { stage: "select" }
+        );
+        // A gate that rejects `trace` stops before any work; supplying
+        // artifacts skips the trace stage and its gate check entirely.
+        let no_trace = |stage: &'static str| {
+            if stage == "trace" {
+                Err(PipelineError::DeadlineExceeded { stage: "trace", over_ms: 1 })
+            } else {
+                Ok(())
+            }
+        };
+        assert_eq!(
+            Pipeline::new(&p).config(c).gate(&no_trace).run().unwrap_err(),
+            PipelineError::DeadlineExceeded { stage: "trace", over_ms: 1 }
+        );
+        let arts = Pipeline::new(&p).config(c).trace().unwrap();
+        let out = Pipeline::new(&p)
+            .config(c)
+            .artifacts(arts.forest, arts.stats)
+            .gate(&no_trace)
+            .run()
+            .unwrap();
+        assert_eq!(key(&out.result), key(&whole.result));
     }
 
     #[test]

@@ -45,6 +45,23 @@ pub enum PipelineError {
     Slice(SliceError),
     /// The timing simulator faulted.
     Sim(SimError),
+    /// The run was cancelled at a stage boundary (client `cancel`, or a
+    /// service-level abort). Carries the stage that was about to start.
+    Cancelled {
+        /// The stage name the gate rejected (`"trace"`, `"base_sim"`,
+        /// `"select"`, `"assisted_sim"`, or `"queued"` before any work).
+        stage: &'static str,
+    },
+    /// The run's wall-clock deadline expired before the named stage
+    /// could start. Deadlines are only observed at stage boundaries — a
+    /// stage that is already running finishes (its own watchdogs bound
+    /// it), and the boundary check reports the overrun.
+    DeadlineExceeded {
+        /// The stage name the gate rejected.
+        stage: &'static str,
+        /// How far past the deadline the boundary check ran.
+        over_ms: u64,
+    },
 }
 
 impl PipelineError {
@@ -67,6 +84,8 @@ impl PipelineError {
             PipelineError::Exec(_) => "pipeline.exec",
             PipelineError::Slice(_) => "pipeline.slice",
             PipelineError::Sim(_) => "pipeline.sim",
+            PipelineError::Cancelled { .. } => "pipeline.cancelled",
+            PipelineError::DeadlineExceeded { .. } => "pipeline.deadline_exceeded",
         }
     }
 }
@@ -95,6 +114,12 @@ impl fmt::Display for PipelineError {
             PipelineError::Exec(e) => write!(f, "functional trace fault: {e}"),
             PipelineError::Slice(e) => write!(f, "slicing fault: {e}"),
             PipelineError::Sim(e) => write!(f, "timing simulation fault: {e}"),
+            PipelineError::Cancelled { stage } => {
+                write!(f, "run cancelled before the {stage} stage")
+            }
+            PipelineError::DeadlineExceeded { stage, over_ms } => {
+                write!(f, "deadline exceeded {over_ms} ms before the {stage} stage")
+            }
         }
     }
 }
@@ -160,6 +185,8 @@ mod tests {
             PipelineError::Exec(ExecError::CpuHalted).code(),
             PipelineError::Slice(SliceError::ZeroScope).code(),
             PipelineError::Sim(SimError::Machine(MachineError::ZeroWidth)).code(),
+            PipelineError::Cancelled { stage: "select" }.code(),
+            PipelineError::DeadlineExceeded { stage: "select", over_ms: 3 }.code(),
         ];
         for (i, a) in codes.iter().enumerate() {
             for b in &codes[i + 1..] {

@@ -54,6 +54,34 @@ pub fn truncate_bytes(text: &str, n: usize) -> String {
     text[..n].to_string()
 }
 
+/// Cuts the final non-empty line roughly in half, modeling a writer
+/// SIGKILLed mid-append — the canonical torn tail of an append-only
+/// journal. Checksummed readers must drop exactly that record and keep
+/// everything before it.
+///
+/// Text without a non-empty line returns unchanged.
+pub fn torn_tail(text: &str) -> String {
+    let trimmed = text.trim_end_matches('\n');
+    if trimmed.is_empty() {
+        return text.to_string();
+    }
+    let last_start = trimmed.rfind('\n').map_or(0, |i| i + 1);
+    let last_len = trimmed.len() - last_start;
+    truncate_bytes(trimmed, last_start + last_len / 2)
+}
+
+/// Appends a line of plausible-looking garbage (non-record bytes),
+/// modeling a foreign writer or a recycled disk sector landing after the
+/// last good record. Checksummed readers must skip it.
+pub fn append_garbage(text: &str) -> String {
+    let mut out = text.to_string();
+    if !out.is_empty() && !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str("deadbeefdeadbeef {\"ev\":\"noise\",\"seq\":0}\n");
+    out
+}
+
 /// Replaces line `n` (0-based) with `with`.
 ///
 /// Out-of-range `n` returns the text unchanged.
@@ -156,6 +184,19 @@ mod tests {
         assert_ne!(t, T);
         assert!(t.is_ascii());
         assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
+    fn journal_surgeries() {
+        // Torn tail: the last record is cut mid-line, earlier ones intact.
+        assert_eq!(torn_tail(T), "alpha\nbravo\ncha");
+        assert_eq!(torn_tail("solo\n"), "so");
+        assert_eq!(torn_tail(""), "");
+        // Garbage append: everything before the noise is untouched.
+        let g = append_garbage(T);
+        assert!(g.starts_with(T) && g.ends_with('\n'));
+        assert_eq!(g.lines().count(), 4);
+        assert!(append_garbage("no-newline").starts_with("no-newline\n"));
     }
 
     #[test]

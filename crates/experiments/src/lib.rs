@@ -36,7 +36,7 @@ pub mod fmt;
 pub mod pipeline;
 pub mod tables;
 
-pub use builder::{Pipeline, PipelineOutput, StageUs, TraceArtifacts};
+pub use builder::{Pipeline, PipelineOutput, StageGate, StageUs, TraceArtifacts};
 pub use error::PipelineError;
 #[allow(deprecated)] // re-exported for migration; the wrappers warn at use sites
 pub use pipeline::{

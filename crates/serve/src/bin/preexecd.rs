@@ -20,13 +20,16 @@ options:
   --queue-cap N      bounded job-queue capacity (default 256)
   --cache-dir PATH   artifact-cache directory (default preexec-cache)
   --cache-max N      max cache entries before eviction (default 256)
+  --high-water N     admission high-water mark in outstanding jobs
+                     (default 0: derive 3/4*queue-cap + workers)
+  --no-journal       disable the durable job journal (WAL + crash recovery)
   --help             print this help
 
 protocol: one JSON object per line, e.g.
-  {\"cmd\":\"submit\",\"workload\":\"vpr.r\",\"budget\":120000}
+  {\"cmd\":\"submit\",\"workload\":\"vpr.r\",\"budget\":120000,\"deadline_ms\":60000}
   {\"cmd\":\"status\",\"job\":1}   {\"cmd\":\"result\",\"job\":1}
-  {\"cmd\":\"stats\"}             {\"cmd\":\"shutdown\"}
-  {\"cmd\":\"metrics\"}           full metrics registry (JSON + Prometheus text)
+  {\"cmd\":\"cancel\",\"job\":1}   {\"cmd\":\"stats\"}
+  {\"cmd\":\"metrics\"}           {\"cmd\":\"shutdown\"}
 ";
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
@@ -62,6 +65,12 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                 cfg.cache_max_entries =
                     v.parse().map_err(|_| format!("bad cache size `{v}`"))?;
             }
+            "--high-water" => {
+                let v = value("--high-water")?;
+                cfg.high_water =
+                    v.parse().map_err(|_| format!("bad high-water mark `{v}`"))?;
+            }
+            "--no-journal" => cfg.journal = false,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -93,6 +102,13 @@ fn main() {
     // Flush so a parent process polling our stdout sees the address
     // before the first connection.
     println!("preexecd listening on {}", server.local_addr());
+    let (replayed, restored) = server.recovery_summary();
+    if replayed > 0 || restored > 0 {
+        println!(
+            "preexecd recovered from journal: {replayed} pending job(s) re-enqueued, \
+             {restored} finished result(s) restored"
+        );
+    }
     let _ = std::io::stdout().flush();
     if let Err(e) = server.run() {
         eprintln!("preexecd: serving: {e}");

@@ -40,13 +40,21 @@
 //! | 2 | usage error: unknown workload, unparsable budget, or bad flags |
 //! | 3 | filesystem I/O error |
 //! | 4 | corrupt slice file (recovered results, if any, are still printed) |
-//! | 5 | pipeline fault (trace/slice/selection error) |
+//! | 5 | pipeline fault (trace/slice/selection error) or a job panic |
 //!
-//! With several workloads the process exits with the first failing
-//! workload's code (in submission order).
+//! With several workloads every job's buffered output is printed (in
+//! submission order) and the process exits with the first failing
+//! workload's code; a job lost to a panic contributes code 5. One
+//! failing job can never be masked by a later success.
+//!
+//! The local scheduler's queue is bounded (`2·jobs`, min 4); when it is
+//! full, submission retries with the shared jittered-backoff policy
+//! ([`preexec_serve::retry`]) — the same contract daemon clients use
+//! when preexecd sheds with `retry_after_ms` (DESIGN.md §14.3).
 
 use preexec_core::{select_pthreads_par, Parallelism, SelectionParams};
 use preexec_experiments::Pipeline;
+use preexec_serve::retry::{retry_with_backoff, Backoff};
 use preexec_serve::scheduler::{JobCompletion, Scheduler};
 use preexec_slice::{read_forest, read_forest_lenient, write_forest, SliceForest};
 use preexec_workloads::{suite, InputSet, Workload};
@@ -173,38 +181,58 @@ fn run(args: &[String]) -> Result<u8, Failure> {
         ));
     }
 
-    // Schedule the workloads; buffer each job's output and print in
-    // submission order.
-    let sched: Scheduler<JobReport> = Scheduler::new(jobs, selected.len().max(1));
+    // Schedule the workloads over a *bounded* queue; buffer each job's
+    // output and print in submission order. A full queue is handled the
+    // way a shed daemon submit is: back off with jitter and retry.
+    let sched: Scheduler<JobReport> = Scheduler::new(jobs, (jobs * 2).max(4));
     let ids: Vec<_> = selected
         .iter()
-        .map(|w| {
-            let name = w.name.to_string();
-            let program = w.build(InputSet::Train);
-            let path = positional
-                .get(2)
-                .cloned()
-                .cloned()
-                .unwrap_or_else(|| format!("{name}.slices"));
-            let par = Parallelism::new(threads);
-            sched
-                .submit(Box::new(move || {
+        .enumerate()
+        .map(|(idx, w)| {
+            let make_job = || {
+                let name = w.name.to_string();
+                let program = w.build(InputSet::Train);
+                let path = positional
+                    .get(2)
+                    .cloned()
+                    .cloned()
+                    .unwrap_or_else(|| format!("{name}.slices"));
+                let par = Parallelism::new(threads);
+                Box::new(move |_id| {
                     JobCompletion::Done(run_workload(&name, &program, budget, &path, par, stream))
-                }))
-                .map_err(|e| Failure::new(2, format!("submitting {}: {e}", w.name)))
+                })
+            };
+            retry_with_backoff(Backoff::new(2, 200, idx as u64), 3_000, || {
+                sched.submit(make_job()).map_err(|_| None)
+            })
+            .map_err(|_| Failure::new(5, format!("submitting {}: queue stayed full", w.name)))
         })
         .collect::<Result<_, _>>()?;
     sched.drain();
 
     let mut first_bad: u8 = 0;
     for id in ids {
-        let Some(JobCompletion::Done(report)) = sched.completion(id) else {
-            // Workers convert panics into Panicked; nothing else occurs.
-            return Err(Failure::new(5, format!("job {id} died unexpectedly")));
+        // Workers convert panics into Panicked; print what the job
+        // buffered (or a synthesized report for a lost one) and keep
+        // going — one bad job must not swallow its siblings' output.
+        let report = match sched.completion(id) {
+            Some(JobCompletion::Done(report)) => report,
+            Some(JobCompletion::Panicked(msg)) => {
+                let mut r = JobReport::default();
+                let _ = writeln!(r.stderr, "toolflow: job {id} panicked: {msg}");
+                r.code = 5;
+                r
+            }
+            _ => {
+                let mut r = JobReport::default();
+                let _ = writeln!(r.stderr, "toolflow: job {id} died unexpectedly");
+                r.code = 5;
+                r
+            }
         };
         print!("{}", report.stdout);
         eprint!("{}", report.stderr);
-        if first_bad == 0 {
+        if first_bad == 0 && report.code != 0 {
             first_bad = report.code;
         }
     }

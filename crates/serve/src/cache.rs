@@ -253,6 +253,10 @@ impl ArtifactCache {
         forest: &SliceForest,
         stats: &RunStats,
     ) -> io::Result<()> {
+        if crate::chaos::plan().cache_store_fail {
+            self.journal.note("chaos", "injected cache store fault");
+            return Err(io::Error::other("chaos: injected cache store fault"));
+        }
         std::fs::create_dir_all(&self.dir)?;
         write_atomically(&self.slices_path(key), &write_forest(forest))?;
         write_atomically(&self.stats_path(key), &stats_to_json(stats).encode())?;
@@ -395,15 +399,22 @@ pub fn stats_from_json(json: &Json) -> Option<RunStats> {
     Some(stats)
 }
 
-/// Writes `contents` to `path` via a sibling temp file and an atomic
-/// rename, so readers never observe a torn entry. The temp name embeds
-/// the target's extension: the `.slices` and `.stats` halves of one entry
-/// must not share a staging file.
+/// Writes `contents` to `path` via a sibling temp file, an fsync, and an
+/// atomic rename, so readers never observe a torn entry — *including
+/// after a power loss*: without the fsync, the rename can be durable
+/// while the data blocks are not, leaving a clean-looking entry full of
+/// zeros under the final name. The temp name embeds the target's
+/// extension: the `.slices` and `.stats` halves of one entry must not
+/// share a staging file.
 fn write_atomically(path: &Path, contents: &str) -> io::Result<()> {
+    use std::io::Write;
     let mut tmp_name = path.as_os_str().to_owned();
     tmp_name.push(".tmp");
     let tmp = PathBuf::from(tmp_name);
-    std::fs::write(&tmp, contents)?;
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(contents.as_bytes())?;
+    f.sync_data()?;
+    drop(f);
     std::fs::rename(&tmp, path)
 }
 
@@ -510,6 +521,30 @@ mod tests {
             "corruption must be journaled, got {events:?}"
         );
         // The bad entry was removed; a fresh store works and hits again.
+        cache.store(&k, &forest, &stats).expect("re-store");
+        assert!(cache.load(&k).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_filled_entry_under_the_final_name_is_a_counted_miss() {
+        // The power-loss artifact the fsync-before-rename guards against:
+        // the rename was durable but the data blocks were not, so the
+        // *final* name holds zeros of the right length — no `.tmp`
+        // suffix to give it away. The lenient reader must diagnose it
+        // and the cache must recover by recomputing, never serve it.
+        let dir = tmp_dir("partial-write");
+        let (cache, registry) = isolated_cache(&dir, 8);
+        let (forest, stats) = sample_artifacts();
+        let k = key("vpr.r");
+        cache.store(&k, &forest, &stats).expect("store");
+        let path = cache.slices_path(&k);
+        let len = std::fs::metadata(&path).expect("meta").len() as usize;
+        std::fs::write(&path, "\0".repeat(len)).expect("zero-fill");
+        assert!(cache.load(&k).is_none(), "zero-filled entry must miss");
+        assert_eq!(cache.stats().corrupt, 1);
+        assert!(registry.journal().recent().iter().any(|e| e.kind == "cache_corrupt"));
+        // The bad pair was removed; recompute-and-overwrite hits again.
         cache.store(&k, &forest, &stats).expect("re-store");
         assert!(cache.load(&k).is_some());
         let _ = std::fs::remove_dir_all(&dir);

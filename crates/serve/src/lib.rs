@@ -19,7 +19,16 @@
 //! - [`server`] — the `preexecd` TCP front end tying it all together;
 //! - [`histogram`] — JSON serialization for the power-of-two-bucket
 //!   latency histograms of [`preexec_obs`], backing the `stats` and
-//!   `metrics` reports.
+//!   `metrics` reports;
+//! - [`journal`] — the durable job journal (append-only, checksummed
+//!   WAL) behind crash recovery: acked work survives a daemon kill and
+//!   re-runs byte-identically (DESIGN.md §14);
+//! - [`admission`] + [`retry`] — overload protection: a high-water
+//!   admission gate that sheds with `retry_after_ms` hints, and the
+//!   client-side jittered-backoff helper honoring them;
+//! - [`chaos`] — opt-in fault injection (`PREEXEC_CHAOS`) for the
+//!   daemon-level chaos suite: worker panics, slow stages, cache write
+//!   faults.
 //!
 //! Observability: every layer records into the process-wide
 //! [`preexec_obs`] registry (stage latencies, cache hit/miss/eviction
@@ -37,20 +46,27 @@
 //! the *results* (bit-identical to a direct pipeline run) is the
 //! contract that matters.
 
+pub mod admission;
 pub mod cache;
+pub mod chaos;
 pub mod histogram;
+pub mod journal;
 pub mod json;
 pub mod proto;
+pub mod retry;
 pub mod scheduler;
 pub mod server;
 pub mod service;
 
+pub use admission::{AdmissionGate, Overloaded};
 pub use cache::{ArtifactCache, CacheStats, TraceKey};
 pub use histogram::{histogram_json, Histogram};
+pub use journal::{canonical_result, check_invariants, JobJournal, JournalReplay};
 pub use json::Json;
 pub use proto::{parse_request, ProtoError, Request, PROTOCOL_VERSION};
+pub use retry::{retry_with_backoff, Backoff};
 pub use scheduler::{
-    JobCompletion, JobId, JobState, Scheduler, SchedulerStats, SubmitError,
+    CancelOutcome, JobCompletion, JobId, JobState, Scheduler, SchedulerStats, SubmitError,
 };
 pub use server::{Server, ServerConfig};
-pub use service::{run_job, JobOutput, JobSpec, StageHists, StageMicros};
+pub use service::{run_job, CancelToken, JobOutput, JobSpec, StageHists, StageMicros};

@@ -9,12 +9,16 @@
 //!
 //! | `cmd` | fields | response payload |
 //! |-------|--------|------------------|
-//! | `submit` | `workload` (required), `input`, `budget`, `warmup`, `scope`, `max_slice_len`, `max_pthread_len`, `optimize`, `merge`, `width`, `mem_latency`, `model_miss_latency`, `model_width` | `job` id |
+//! | `submit` | `workload` (required), `input`, `budget`, `warmup`, `scope`, `max_slice_len`, `max_pthread_len`, `optimize`, `merge`, `width`, `mem_latency`, `model_miss_latency`, `model_width`, `deadline_ms` | `job` id |
 //! | `status` | `job` | `state` (+ `error` when failed) |
 //! | `result` | `job` | `state`, `cache_hit`, `result{...}` |
+//! | `cancel` | `job` | `state` after the attempt (+ `cancelling: true` when the job is mid-run and will stop at its next stage boundary) |
 //! | `stats` | — | queue/worker/cache/stage-latency report |
 //! | `metrics` | — | full metrics registry: `counters`, `gauges`, `histograms`, `events`, plus a Prometheus-style `prometheus` text rendering |
-//! | `shutdown` | — | `shutting_down: true`, then the daemon drains |
+//! | `shutdown` | — | `shutting_down: true` with the `queued`/`running` counts the drain will finish (journaled, so nothing is silently lost) |
+//!
+//! Overload: past the admission high-water mark, `submit` fails fast
+//! with code `overloaded` and a `retry_after_ms` hint (DESIGN.md §14.3).
 //!
 //! Submit fields default to [`PipelineConfig::paper_default`] at the
 //! given budget (default 120 000 instructions); `width` and
@@ -34,8 +38,11 @@ use std::fmt;
 
 /// Wire-protocol version stamped on every response. Bumped whenever a
 /// response's shape changes incompatibly; version 2 introduced the
-/// `code` field on errors and this stamp itself.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// `code` field on errors and this stamp itself; version 3 added the
+/// `cancel` verb, `deadline_ms`, the `cancelled` job state, the
+/// `overloaded` rejection with `retry_after_ms`, and the drain counts in
+/// the `shutdown` response.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// A protocol-level failure: why a request line could not be parsed or
 /// served. [`code`](ProtoError::code) is the stable contract; the
@@ -62,6 +69,9 @@ pub enum ProtoError {
     Config(PipelineError),
     /// The scheduler rejected the submission (queue full / draining).
     Submit(SubmitError),
+    /// The admission gate shed the submission (past the high-water
+    /// mark); carries the retry hint.
+    Overloaded(crate::admission::Overloaded),
     /// No job with that id was ever submitted.
     UnknownJob(JobId),
     /// The job exists but has not reached a terminal state.
@@ -87,6 +97,7 @@ impl ProtoError {
             ProtoError::Config(e) => e.code(),
             ProtoError::Submit(SubmitError::QueueFull { .. }) => "queue_full",
             ProtoError::Submit(SubmitError::ShuttingDown) => "shutting_down",
+            ProtoError::Overloaded(_) => "overloaded",
             ProtoError::UnknownJob(_) => "unknown_job",
             ProtoError::NotFinished { .. } => "job_not_finished",
         }
@@ -99,7 +110,8 @@ impl fmt::Display for ProtoError {
             ProtoError::BadJson(m) | ProtoError::UnknownWorkload(m) => write!(f, "{m}"),
             ProtoError::UnknownCmd(c) => write!(
                 f,
-                "unknown cmd `{c}` (expected submit, status, result, stats, metrics, or shutdown)"
+                "unknown cmd `{c}` (expected submit, status, result, cancel, stats, metrics, \
+                 or shutdown)"
             ),
             ProtoError::BadField { field, expected } => {
                 write!(f, "field `{field}` must be {expected}")
@@ -109,6 +121,7 @@ impl fmt::Display for ProtoError {
             }
             ProtoError::Config(e) => write!(f, "{e}"),
             ProtoError::Submit(e) => write!(f, "{e}"),
+            ProtoError::Overloaded(e) => write!(f, "{e}"),
             ProtoError::UnknownJob(id) => write!(f, "unknown job {id}"),
             ProtoError::NotFinished { job, state } => {
                 write!(f, "job {job} is {state} — poll `status` until it finishes")
@@ -122,6 +135,7 @@ impl std::error::Error for ProtoError {
         match self {
             ProtoError::Config(e) => Some(e),
             ProtoError::Submit(e) => Some(e),
+            ProtoError::Overloaded(e) => Some(e),
             _ => None,
         }
     }
@@ -148,6 +162,8 @@ pub enum Request {
     Status(JobId),
     /// Report a finished job's result.
     Result(JobId),
+    /// Cancel a queued or running job.
+    Cancel(JobId),
     /// Report service-wide statistics.
     Stats,
     /// Report the full metrics registry (JSON + Prometheus text).
@@ -173,6 +189,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "submit" => parse_submit(&json).map(|s| Request::Submit(Box::new(s))),
         "status" => job_id(&json).map(Request::Status),
         "result" => job_id(&json).map(Request::Result),
+        "cancel" => job_id(&json).map(Request::Cancel),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
@@ -216,7 +233,11 @@ fn opt_bool(json: &Json, key: &'static str) -> Result<Option<bool>, ProtoError> 
     }
 }
 
-fn parse_submit(json: &Json) -> Result<JobSpec, ProtoError> {
+/// Parses the fields of a `submit` object into a [`JobSpec`]. Also the
+/// journal-replay entry point: [`spec_json`] emits exactly this shape,
+/// so a recovered daemon re-parses journaled submissions through the
+/// same validation the original client went through.
+pub(crate) fn parse_submit(json: &Json) -> Result<JobSpec, ProtoError> {
     let workload = json
         .get("workload")
         .and_then(Json::as_str)
@@ -266,17 +287,57 @@ fn parse_submit(json: &Json) -> Result<JobSpec, ProtoError> {
     // Reject bad configurations at the door: a queued job that can only
     // fail wastes a worker slot and hides the mistake from the client.
     cfg.try_validate().map_err(ProtoError::Config)?;
-    JobSpec::new(workload, input, cfg).map_err(ProtoError::UnknownWorkload)
+    let mut spec =
+        JobSpec::new(workload, input, cfg).map_err(ProtoError::UnknownWorkload)?;
+    spec.deadline_ms = opt_u64(json, "deadline_ms")?;
+    Ok(spec)
+}
+
+/// Serializes a [`JobSpec`] back into the submit-object shape
+/// [`parse_submit`] accepts, every field explicit — the durable
+/// journal's `spec` payload. Round-trip exactness is what lets a
+/// restarted daemon re-run the job byte-identically.
+pub fn spec_json(spec: &JobSpec) -> Json {
+    let cfg = &spec.cfg;
+    let mut fields = vec![
+        ("workload", Json::str(spec.workload_name.clone())),
+        ("input", Json::str(crate::cache::input_name(spec.input))),
+        ("budget", Json::num_u64(cfg.budget)),
+        ("warmup", Json::num_u64(cfg.warmup)),
+        ("scope", Json::num_u64(cfg.scope as u64)),
+        ("max_slice_len", Json::num_u64(cfg.max_slice_len as u64)),
+        ("max_pthread_len", Json::num_u64(cfg.max_pthread_len as u64)),
+        ("optimize", Json::Bool(cfg.optimize)),
+        ("merge", Json::Bool(cfg.merge)),
+        ("width", Json::num_u64(u64::from(cfg.machine.width))),
+        ("mem_latency", Json::num_u64(cfg.machine.mem_latency)),
+    ];
+    if let Some(x) = cfg.model_miss_latency {
+        fields.push(("model_miss_latency", Json::Num(x)));
+    }
+    if let Some(x) = cfg.model_width {
+        fields.push(("model_width", Json::Num(x)));
+    }
+    if let Some(ms) = spec.deadline_ms {
+        fields.push(("deadline_ms", Json::num_u64(ms)));
+    }
+    Json::obj(fields)
 }
 
 /// `{"ok": false, "protocol_version": V, "error": message, "code": code}`.
+/// An `overloaded` rejection additionally carries the machine-readable
+/// `retry_after_ms` hint so clients need not parse the message.
 pub fn error_response(err: &ProtoError) -> Json {
-    Json::obj(vec![
+    let mut fields = vec![
         ("ok", Json::Bool(false)),
         ("protocol_version", Json::num_u64(PROTOCOL_VERSION)),
         ("error", Json::str(err.to_string())),
         ("code", Json::str(err.code())),
-    ])
+    ];
+    if let ProtoError::Overloaded(o) = err {
+        fields.push(("retry_after_ms", Json::num_u64(o.retry_after_ms)));
+    }
+    Json::obj(fields)
 }
 
 /// `{"ok": true, "protocol_version": V, ...fields}`.
@@ -359,6 +420,10 @@ mod tests {
         assert!(matches!(
             parse_request(r#"{"cmd":"result","job":9}"#),
             Ok(Request::Result(9))
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"cancel","job":5}"#),
+            Ok(Request::Cancel(5))
         ));
         assert!(matches!(parse_request(r#"{"cmd":"stats"}"#), Ok(Request::Stats)));
         assert!(matches!(parse_request(r#"{"cmd":"metrics"}"#), Ok(Request::Metrics)));
@@ -454,5 +519,44 @@ mod tests {
             ProtoError::NotFinished { job: 3, state: "running" }.code(),
             "job_not_finished"
         );
+    }
+
+    #[test]
+    fn overloaded_rejections_carry_the_retry_hint() {
+        let e = ProtoError::Overloaded(crate::admission::Overloaded {
+            retry_after_ms: 750,
+            outstanding: 9,
+            high_water: 8,
+        });
+        assert_eq!(e.code(), "overloaded");
+        assert!(e.to_string().contains("750"));
+        let resp = error_response(&e);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(resp.get("code").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(resp.get("retry_after_ms").and_then(Json::as_u64), Some(750));
+        // Other errors stay hint-free.
+        assert!(error_response(&ProtoError::UnknownJob(1)).get("retry_after_ms").is_none());
+    }
+
+    #[test]
+    fn spec_json_round_trips_through_parse_submit() {
+        let line = r#"{"cmd":"submit","workload":"mcf","input":"test","budget":50000,
+            "width":4,"mem_latency":140,"optimize":false,"model_width":6.5,
+            "deadline_ms":8000}"#;
+        let Ok(Request::Submit(spec)) = parse_request(line) else {
+            panic!("parses");
+        };
+        assert_eq!(spec.deadline_ms, Some(8000));
+        let encoded = spec_json(&spec);
+        let back = parse_submit(&encoded).expect("round-trip parses");
+        assert_eq!(back.workload_name, spec.workload_name);
+        assert_eq!(back.input, spec.input);
+        assert_eq!(back.cfg.budget, spec.cfg.budget);
+        assert_eq!(back.cfg.machine.width, spec.cfg.machine.width);
+        assert_eq!(back.cfg.model_width, spec.cfg.model_width);
+        assert_eq!(back.cfg.optimize, spec.cfg.optimize);
+        assert_eq!(back.deadline_ms, spec.deadline_ms);
+        // A second encode is byte-identical: the canonical spec form.
+        assert_eq!(spec_json(&back).encode(), encoded.encode());
     }
 }

@@ -7,26 +7,43 @@
 //! handler threads notice a daemon shutdown promptly instead of blocking
 //! forever on an idle client, which keeps the final join bounded.
 //!
-//! Shutdown ("graceful drain"): the `shutdown` command flips a flag,
-//! answers the client, and pokes the accept loop with a loopback
-//! connection. The accept loop exits, the scheduler drains (queued and
-//! running jobs finish), handler threads wind down, and
+//! Shutdown ("graceful drain"): the `shutdown` command journals and
+//! reports the still-pending job counts, flips a flag, answers the
+//! client, and pokes the accept loop with a loopback connection. The
+//! accept loop exits, the scheduler drains (queued and running jobs
+//! finish — and their results hit the durable journal, so even a crash
+//! racing the drain loses nothing), handler threads wind down, and
 //! [`Server::run`] returns.
+//!
+//! Durability (DESIGN.md §14): with journaling on (the default), every
+//! acked submission and every terminal transition is appended to the
+//! WAL in the cache directory before the client hears about it. At bind
+//! time the journal is replayed: finished jobs' results are restored
+//! into an in-memory map (served by `status`/`result` as before the
+//! crash), and acked-but-unfinished jobs are re-enqueued under their
+//! original ids — the pipeline is deterministic, so the re-runs complete
+//! byte-identically.
 
+use crate::admission::AdmissionGate;
 use crate::cache::ArtifactCache;
 use crate::histogram::histogram_json;
+use crate::journal::{JobJournal, JournalReplay, TerminalRecord};
 use crate::json::Json;
-use crate::proto::{error_response, ok_response, parse_request, result_json, ProtoError, Request};
-use crate::scheduler::{JobCompletion, Scheduler, SubmitError};
-use crate::service::{run_job, JobOutput, StageHists};
+use crate::proto::{
+    error_response, ok_response, parse_request, result_json, spec_json, ProtoError, Request,
+};
+use crate::scheduler::{CancelOutcome, JobCompletion, JobId, JobState, Scheduler, SubmitError};
+use crate::service::{run_job, CancelToken, JobOutput, JobSpec, StageHists};
 use preexec_core::par::Parallelism;
+use preexec_experiments::PipelineError;
 use preexec_obs::{render_prometheus, Counter, Gauge};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// How the daemon is set up.
 #[derive(Debug, Clone)]
@@ -48,6 +65,11 @@ pub struct ServerConfig {
     pub cache_dir: PathBuf,
     /// Maximum artifact-cache entries before eviction.
     pub cache_max_entries: usize,
+    /// Whether the durable job journal (WAL + crash recovery) is on.
+    pub journal: bool,
+    /// Admission-control high-water mark in outstanding jobs
+    /// (queued + running); 0 derives ¾·`queue_cap` + workers.
+    pub high_water: usize,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +81,8 @@ impl Default for ServerConfig {
             queue_cap: 256,
             cache_dir: PathBuf::from("preexec-cache"),
             cache_max_entries: 256,
+            journal: true,
+            high_water: 0,
         }
     }
 }
@@ -73,6 +97,17 @@ struct Shared {
     queue_cap: usize,
     /// Resolved intra-job thread count handed to every [`run_job`].
     job_threads: usize,
+    /// The durable WAL; `None` with `--no-journal`.
+    journal: Option<JobJournal>,
+    /// The soft wall in front of the queue cap.
+    admission: AdmissionGate,
+    /// Live cancel tokens by job id (inserted at submit, removed when
+    /// the job reports terminal; a worker *panic* skips the removal, a
+    /// bounded leak of one flag per panicked job).
+    tokens: Mutex<HashMap<JobId, Arc<CancelToken>>>,
+    /// Finished jobs restored from the journal at startup, served by
+    /// `status`/`result` exactly as live completions are.
+    restored: Mutex<HashMap<JobId, TerminalRecord>>,
     /// Connections accepted over the daemon's life (registry counter
     /// `server.connections`).
     connections_total: Arc<Counter>,
@@ -82,18 +117,77 @@ struct Shared {
     handlers_live: Arc<Gauge>,
 }
 
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    /// The job closure both live submits and journal replays enqueue.
+    /// The worker hands it the job id; it journals `start`, runs the
+    /// pipeline under the cancel token, journals the terminal record
+    /// *before* the scheduler exposes it, and feeds the admission
+    /// gate's job-time estimate.
+    fn job_fn(self: &Arc<Shared>, spec: JobSpec, token: Arc<CancelToken>) -> crate::scheduler::JobFn<JobOutput> {
+        let shared = Arc::clone(self);
+        Box::new(move |id| {
+            let start_index = crate::chaos::job_started();
+            if let Some(j) = &shared.journal {
+                j.start(id);
+            }
+            // Deliberately panics *outside* any terminal-record write:
+            // models a worker dying after `start` hit the WAL and before
+            // any terminal record — the replay-and-rerun window.
+            assert!(
+                !crate::chaos::should_panic_now(start_index),
+                "chaos: injected worker panic (job start #{start_index})"
+            );
+            let t0 = Instant::now();
+            let par = Parallelism::new(shared.job_threads);
+            let completion = run_job(&spec, &shared.cache, &shared.hists, par, Some(&token));
+            shared.admission.record_job_us(t0.elapsed().as_micros() as u64);
+            if let Some(j) = &shared.journal {
+                match &completion {
+                    JobCompletion::Done(out) => j.done(id, "done", &result_json(out)),
+                    JobCompletion::TimedOut(out) => {
+                        j.done(id, "timed_out", &result_json(out));
+                    }
+                    JobCompletion::Failed(e) => j.failed(id, &e.to_string(), e.code()),
+                    JobCompletion::Panicked(msg) => j.failed(id, msg, "job_panicked"),
+                    JobCompletion::Cancelled(e) => {
+                        j.cancelled(id, &e.to_string(), e.code());
+                    }
+                }
+            }
+            lock(&shared.tokens).remove(&id);
+            completion
+        })
+    }
+}
+
 /// A bound (but not yet serving) daemon.
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    /// Acked-but-unfinished jobs re-enqueued from the journal at bind.
+    replayed_pending: u64,
+    /// Finished results restored from the journal at bind.
+    restored_results: u64,
 }
 
 impl Server {
-    /// Binds the listener and spawns the worker pool.
+    /// The journal file's name inside the cache directory.
+    pub const JOURNAL_FILE: &'static str = "preexecd.wal";
+
+    /// Binds the listener, spawns the worker pool, and — with journaling
+    /// on — replays the WAL: finished jobs' results are restored and
+    /// served from memory, acked-but-unfinished jobs are re-enqueued
+    /// under their original ids.
     ///
     /// # Errors
     ///
-    /// Propagates socket errors (bad address, port in use, ...).
+    /// Propagates socket errors (bad address, port in use, ...) and,
+    /// when journaling is on, an unwritable journal file — refusing to
+    /// run while silently unable to honor the durability contract.
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -104,6 +198,27 @@ impl Server {
         } else {
             config.job_threads
         };
+        let journal_path = config.cache_dir.join(Server::JOURNAL_FILE);
+        let (journal, replay) = if config.journal {
+            let replay = JournalReplay::read(&journal_path);
+            if replay.corrupt_records > 0 {
+                preexec_obs::global()
+                    .counter("journal.corrupt_records")
+                    .add(replay.corrupt_records);
+                preexec_obs::global().journal().note(
+                    "journal_corrupt",
+                    &format!(
+                        "{} corrupt record(s) skipped replaying {}",
+                        replay.corrupt_records,
+                        journal_path.display()
+                    ),
+                );
+            }
+            (Some(JobJournal::open(&journal_path, replay.next_seq)?), Some(replay))
+        } else {
+            (None, None)
+        };
+        let registry = preexec_obs::global();
         let shared = Arc::new(Shared {
             sched: Scheduler::new(workers, config.queue_cap),
             cache: ArtifactCache::new(&config.cache_dir, config.cache_max_entries),
@@ -112,10 +227,24 @@ impl Server {
             local_addr,
             queue_cap: config.queue_cap,
             job_threads,
-            connections_total: preexec_obs::global().counter("server.connections"),
-            handlers_live: preexec_obs::global().gauge("server.handlers_live"),
+            journal,
+            admission: AdmissionGate::new(config.high_water, config.queue_cap, workers, registry),
+            tokens: Mutex::new(HashMap::new()),
+            restored: Mutex::new(HashMap::new()),
+            connections_total: registry.counter("server.connections"),
+            handlers_live: registry.gauge("server.handlers_live"),
         });
-        Ok(Server { listener, shared })
+        let (replayed_pending, restored_results) = match replay {
+            Some(replay) => replay_journal(&shared, &replay),
+            None => (0, 0),
+        };
+        Ok(Server { listener, shared, replayed_pending, restored_results })
+    }
+
+    /// How many acked-but-unfinished jobs bind re-enqueued and how many
+    /// finished results it restored from the journal.
+    pub fn recovery_summary(&self) -> (u64, u64) {
+        (self.replayed_pending, self.restored_results)
     }
 
     /// The actually-bound address (resolves port 0).
@@ -156,6 +285,66 @@ impl Server {
         }
         Ok(())
     }
+}
+
+/// Applies a journal replay to a freshly-bound daemon: finished jobs'
+/// terminal records go into the restored map (served by `status` /
+/// `result` like live completions), acked-but-unfinished jobs are
+/// re-enqueued under their original ids. Returns
+/// `(replayed_pending, restored_results)`.
+fn replay_journal(shared: &Arc<Shared>, replay: &JournalReplay) -> (u64, u64) {
+    // Even if nothing is pending (so `submit_replayed` never bumps the
+    // allocator), fresh submissions must not reuse ids that the restored
+    // map still answers for.
+    shared.sched.reserve_ids_through(replay.max_job_id);
+    let mut restored = 0u64;
+    for (id, job) in &replay.jobs {
+        if let Some(term) = &job.terminal {
+            lock(&shared.restored).insert(*id, term.clone());
+            restored += 1;
+        }
+    }
+    let mut replayed = 0u64;
+    for (id, spec_json) in replay.pending() {
+        match crate::proto::parse_submit(spec_json) {
+            Ok(spec) => {
+                let token = Arc::new(CancelToken::new(spec.deadline_ms));
+                lock(&shared.tokens).insert(id, Arc::clone(&token));
+                if shared.sched.submit_replayed(id, shared.job_fn(spec, token)).is_ok() {
+                    replayed += 1;
+                } else {
+                    lock(&shared.tokens).remove(&id);
+                }
+            }
+            Err(e) => {
+                // The journaled spec no longer parses (version skew, or a
+                // damaged record that still checksummed): surface a failed
+                // job rather than silently dropping an acked id.
+                let msg = format!("journal replay: {e}");
+                if let Some(j) = &shared.journal {
+                    j.failed(id, &msg, "replay_unparseable");
+                }
+                lock(&shared.restored).insert(
+                    id,
+                    TerminalRecord {
+                        state: "failed".to_string(),
+                        result: None,
+                        error: Some(msg),
+                        code: Some("replay_unparseable".to_string()),
+                    },
+                );
+                restored += 1;
+            }
+        }
+    }
+    if replayed > 0 || restored > 0 {
+        preexec_obs::global().counter("journal.replayed_pending").add(replayed);
+        preexec_obs::global().journal().note(
+            "journal_replay",
+            &format!("re-enqueued {replayed} pending job(s), restored {restored} result(s)"),
+        );
+    }
+    (replayed, restored)
 }
 
 /// Serves one connection until EOF, error, or daemon shutdown.
@@ -199,6 +388,26 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
+/// Builds the `status`/`result` payload for a journal-restored job
+/// (one that finished in a previous daemon life).
+fn restored_response(id: JobId, term: &TerminalRecord) -> Json {
+    let mut fields = vec![
+        ("job", Json::num_u64(id)),
+        ("state", Json::str(term.state.clone())),
+        ("restored", Json::Bool(true)),
+    ];
+    if let Some(r) = &term.result {
+        fields.push(("result", r.clone()));
+    }
+    if let Some(e) = &term.error {
+        fields.push(("error", Json::str(e.clone())));
+    }
+    if let Some(c) = &term.code {
+        fields.push(("code", Json::str(c.clone())));
+    }
+    ok_response(fields)
+}
+
 /// Executes one request line and builds the response.
 fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
     match parse_request(line) {
@@ -207,38 +416,108 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
             if shared.shutting_down.load(Ordering::SeqCst) {
                 return error_response(&ProtoError::from(SubmitError::ShuttingDown));
             }
-            // The worker may outlive this connection; the closure keeps
-            // the cache and histograms alive through its own Arc.
-            let job_shared = Arc::clone(shared);
-            let submitted = shared.sched.submit(Box::new(move || {
-                let par = Parallelism::new(job_shared.job_threads);
-                run_job(&spec, &job_shared.cache, &job_shared.hists, par)
-            }));
-            match submitted {
-                Ok(id) => ok_response(vec![("job", Json::num_u64(id))]),
+            // Soft wall before the hard queue cap: shed with a typed
+            // error and a retry hint while the daemon can still answer
+            // quickly (DESIGN.md §14.3).
+            let stats = shared.sched.stats();
+            if let Err(over) = shared.admission.admit(stats.queued, stats.running) {
+                return error_response(&ProtoError::Overloaded(over));
+            }
+            let journaled_spec = spec_json(&spec);
+            let token = Arc::new(CancelToken::new(spec.deadline_ms));
+            match shared.sched.submit(shared.job_fn(*spec, Arc::clone(&token))) {
+                Ok(id) => {
+                    lock(&shared.tokens).insert(id, token);
+                    // A fast worker may already have finished (its own
+                    // removal ran before this insert): don't leak the
+                    // token entry.
+                    if shared.sched.state(id).is_some_and(JobState::is_terminal) {
+                        lock(&shared.tokens).remove(&id);
+                    }
+                    // Journal the acked submission *before* the client
+                    // hears the ack: once `ok` is on the wire the job
+                    // must survive a crash. (A fast worker's `start` may
+                    // already sit before this record; replay is
+                    // order-insensitive.)
+                    if let Some(j) = &shared.journal {
+                        j.submit(id, &journaled_spec);
+                    }
+                    ok_response(vec![("job", Json::num_u64(id))])
+                }
                 Err(e) => error_response(&ProtoError::from(e)),
             }
         }
+        Ok(Request::Cancel(id)) => {
+            match shared.sched.cancel_queued(id, PipelineError::Cancelled { stage: "queued" }) {
+                CancelOutcome::Dequeued => {
+                    if let Some(j) = &shared.journal {
+                        j.cancelled(id, "cancelled while queued", "pipeline.cancelled");
+                    }
+                    lock(&shared.tokens).remove(&id);
+                    ok_response(vec![
+                        ("job", Json::num_u64(id)),
+                        ("state", Json::str("cancelled")),
+                        ("cancelling", Json::Bool(false)),
+                    ])
+                }
+                CancelOutcome::Running => {
+                    // Can't yank it off the worker: trip the token and
+                    // let the run stop at its next stage boundary.
+                    if let Some(t) = lock(&shared.tokens).get(&id) {
+                        t.cancel();
+                    }
+                    ok_response(vec![
+                        ("job", Json::num_u64(id)),
+                        ("state", Json::str("running")),
+                        ("cancelling", Json::Bool(true)),
+                    ])
+                }
+                CancelOutcome::Finished(state) => ok_response(vec![
+                    ("job", Json::num_u64(id)),
+                    ("state", Json::str(state.name())),
+                    ("cancelling", Json::Bool(false)),
+                ]),
+                CancelOutcome::Unknown => match lock(&shared.restored).get(&id) {
+                    Some(term) => ok_response(vec![
+                        ("job", Json::num_u64(id)),
+                        ("state", Json::str(term.state.clone())),
+                        ("cancelling", Json::Bool(false)),
+                        ("restored", Json::Bool(true)),
+                    ]),
+                    None => error_response(&ProtoError::UnknownJob(id)),
+                },
+            }
+        }
         Ok(Request::Status(id)) => match shared.sched.state(id) {
-            None => error_response(&ProtoError::UnknownJob(id)),
+            None => match lock(&shared.restored).get(&id) {
+                Some(term) => restored_response(id, term),
+                None => error_response(&ProtoError::UnknownJob(id)),
+            },
             Some(state) => {
                 let mut fields = vec![
                     ("job", Json::num_u64(id)),
                     ("state", Json::str(state.name())),
                 ];
-                if let Some(JobCompletion::Failed(e)) = shared.sched.completion(id) {
-                    fields.push(("error", Json::str(e.to_string())));
-                    fields.push(("code", Json::str(e.code())));
-                } else if let Some(JobCompletion::Panicked(msg)) = shared.sched.completion(id) {
-                    fields.push(("error", Json::str(msg)));
-                    fields.push(("code", Json::str("job_panicked")));
+                match shared.sched.completion(id) {
+                    Some(JobCompletion::Failed(e) | JobCompletion::Cancelled(e)) => {
+                        fields.push(("error", Json::str(e.to_string())));
+                        fields.push(("code", Json::str(e.code())));
+                    }
+                    Some(JobCompletion::Panicked(msg)) => {
+                        fields.push(("error", Json::str(msg)));
+                        fields.push(("code", Json::str("job_panicked")));
+                    }
+                    _ => {}
                 }
                 ok_response(fields)
             }
         },
         Ok(Request::Result(id)) => match shared.sched.completion(id) {
             None => match shared.sched.state(id) {
-                None => error_response(&ProtoError::UnknownJob(id)),
+                None => match lock(&shared.restored).get(&id) {
+                    Some(term) => restored_response(id, term),
+                    None => error_response(&ProtoError::UnknownJob(id)),
+                },
                 Some(state) => {
                     error_response(&ProtoError::NotFinished { job: id, state: state.name() })
                 }
@@ -253,16 +532,18 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                             ("result", result_json(&out)),
                         ])
                     }
-                    // A failed job is a served request (`ok: true`) whose
-                    // payload is an error; `code` preserves the
-                    // PipelineError taxonomy that a bare string used to
-                    // flatten away.
-                    JobCompletion::Failed(e) => ok_response(vec![
-                        ("job", Json::num_u64(id)),
-                        ("state", Json::str(state.name())),
-                        ("error", Json::str(e.to_string())),
-                        ("code", Json::str(e.code())),
-                    ]),
+                    // A failed/cancelled job is a served request
+                    // (`ok: true`) whose payload is an error; `code`
+                    // preserves the PipelineError taxonomy that a bare
+                    // string used to flatten away.
+                    JobCompletion::Failed(e) | JobCompletion::Cancelled(e) => {
+                        ok_response(vec![
+                            ("job", Json::num_u64(id)),
+                            ("state", Json::str(state.name())),
+                            ("error", Json::str(e.to_string())),
+                            ("code", Json::str(e.code())),
+                        ])
+                    }
                     JobCompletion::Panicked(msg) => ok_response(vec![
                         ("job", Json::num_u64(id)),
                         ("state", Json::str(state.name())),
@@ -275,10 +556,23 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
         Ok(Request::Stats) => stats_response(shared),
         Ok(Request::Metrics) => metrics_response(),
         Ok(Request::Shutdown) => {
+            // Journal what is still pending *before* acking, then count
+            // it in the response: nothing queued is silently lost — the
+            // drain finishes every job below, and should the process die
+            // mid-drain the shutdown record plus per-job records let the
+            // next life re-enqueue the remainder.
+            let (queued, running) = shared.sched.pending_ids();
+            if let Some(j) = &shared.journal {
+                j.shutdown(&queued, &running);
+            }
             shared.shutting_down.store(true, Ordering::SeqCst);
             // Unblock the accept loop so `run` can proceed to the drain.
             let _ = TcpStream::connect(shared.local_addr);
-            ok_response(vec![("shutting_down", Json::Bool(true))])
+            ok_response(vec![
+                ("shutting_down", Json::Bool(true)),
+                ("queued_jobs", Json::num_u64(queued.len() as u64)),
+                ("running_jobs", Json::num_u64(running.len() as u64)),
+            ])
         }
     }
 }
@@ -301,6 +595,22 @@ fn stats_response(shared: &Shared) -> Json {
                 ("done", Json::num_u64(sched.done)),
                 ("failed", Json::num_u64(sched.failed)),
                 ("timed_out", Json::num_u64(sched.timed_out)),
+                ("cancelled", Json::num_u64(sched.cancelled)),
+            ]),
+        ),
+        (
+            "admission",
+            Json::obj(vec![
+                ("high_water", Json::num_u64(shared.admission.high_water() as u64)),
+                ("mean_job_ms", Json::num_u64(shared.admission.mean_job_ms())),
+                ("shed", Json::num_u64(shared.admission.shed_total())),
+            ]),
+        ),
+        (
+            "journal",
+            Json::obj(vec![
+                ("enabled", Json::Bool(shared.journal.is_some())),
+                ("restored", Json::num_u64(lock(&shared.restored).len() as u64)),
             ]),
         ),
         (

@@ -20,10 +20,11 @@ use crate::cache::{ArtifactCache, TraceKey};
 use crate::histogram::{histogram_json, Histogram};
 use crate::scheduler::JobCompletion;
 use preexec_core::par::{ParStats, Parallelism};
-use preexec_experiments::{Pipeline, PipelineConfig, PipelineResult};
+use preexec_experiments::{Pipeline, PipelineConfig, PipelineError, PipelineResult};
 use preexec_workloads::{by_name, InputSet, Workload};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A fully-resolved job: what to run and under which configuration.
 #[derive(Debug, Clone)]
@@ -36,6 +37,10 @@ pub struct JobSpec {
     pub input: InputSet,
     /// Full pipeline configuration (machine, model, budgets).
     pub cfg: PipelineConfig,
+    /// Optional wall-clock deadline: the job is cancelled at the first
+    /// stage boundary past this many milliseconds after admission (after
+    /// a crash, after *re*-admission — see [`CancelToken`]).
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -56,6 +61,7 @@ impl JobSpec {
                 workload,
                 input,
                 cfg,
+                deadline_ms: None,
             }),
             None => {
                 let names: Vec<&str> =
@@ -78,6 +84,68 @@ impl JobSpec {
             budget: self.cfg.budget,
             warmup: self.cfg.warmup,
         }
+    }
+}
+
+/// A per-job cancellation handle: a client `cancel` (or the daemon)
+/// trips the flag, and an optional wall-clock deadline expires on its
+/// own. [`run_job`] consults the token at every stage boundary through
+/// the pipeline's [`StageGate`] hook — a running stage always finishes
+/// (its own watchdog budgets bound it, DESIGN.md §9.3) and the *next*
+/// boundary observes the cancellation.
+///
+/// Deadlines are relative to token creation, so a job replayed after a
+/// crash gets a fresh allowance — a deliberate choice: the deadline
+/// bounds *work*, and billing the pre-crash wall time against the re-run
+/// would spuriously kill every job that was unlucky enough to be
+/// in-flight at crash time.
+///
+/// [`StageGate`]: preexec_experiments::StageGate
+#[derive(Debug)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with an optional deadline of `deadline_ms` milliseconds
+    /// from now (`None` = no deadline).
+    pub fn new(deadline_ms: Option<u64>) -> CancelToken {
+        CancelToken {
+            cancelled: AtomicBool::new(false),
+            deadline: deadline_ms
+                .map(|ms| Instant::now() + std::time::Duration::from_millis(ms)),
+        }
+    }
+
+    /// Trips the token: the job stops at its next stage boundary.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](Self::cancel) was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The stage-boundary check: `Err` when cancelled or past deadline,
+    /// naming the stage that was about to start.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Cancelled`] or [`PipelineError::DeadlineExceeded`].
+    pub fn check(&self, stage: &'static str) -> Result<(), PipelineError> {
+        if self.is_cancelled() {
+            return Err(PipelineError::Cancelled { stage });
+        }
+        if let Some(deadline) = self.deadline {
+            let now = Instant::now();
+            if now > deadline {
+                let over_ms = now.duration_since(deadline).as_millis() as u64;
+                return Err(PipelineError::DeadlineExceeded { stage, over_ms });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -214,12 +282,24 @@ pub struct JobOutput {
 /// Note: a trace cut by its instruction budget (`RunStats::timed_out`) is
 /// the *normal* sampling mode, not a job timeout — only the timing sims'
 /// `max_cycles` watchdog marks a job `TimedOut`.
+///
+/// `token`, when given, is consulted at every stage boundary: a tripped
+/// or deadline-expired token aborts the run as
+/// [`JobCompletion::Cancelled`] before the next stage starts.
 pub fn run_job(
     spec: &JobSpec,
     cache: &ArtifactCache,
     hists: &StageHists,
     par: Parallelism,
+    token: Option<&CancelToken>,
 ) -> JobCompletion<JobOutput> {
+    // A job cancelled (or expired) while it sat in the queue never
+    // starts: report the boundary as "queued".
+    if let Some(t) = token {
+        if let Err(e) = t.check("queued") {
+            return JobCompletion::Cancelled(e);
+        }
+    }
     if let Err(e) = spec.cfg.try_validate() {
         return JobCompletion::Failed(e);
     }
@@ -227,6 +307,18 @@ pub fn run_job(
     let key = spec.trace_key();
 
     let mut pipe = Pipeline::new(&program).config(spec.cfg).parallelism(par);
+    // One gate serves both masters: the chaos harness's slow-stage
+    // injector (inert without a plan) and the cancellation token.
+    let gate_fn = move |stage: &'static str| {
+        crate::chaos::stage_delay();
+        match token {
+            Some(t) => t.check(stage),
+            None => Ok(()),
+        }
+    };
+    if token.is_some() || crate::chaos::plan().slow_job_ms.is_some() {
+        pipe = pipe.gate(&gate_fn);
+    }
     let cache_hit = match cache.load(&key) {
         Some((forest, stats)) => {
             pipe = pipe.artifacts(forest, stats);
@@ -236,6 +328,9 @@ pub fn run_job(
     };
     let out = match pipe.run() {
         Ok(out) => out,
+        Err(
+            e @ (PipelineError::Cancelled { .. } | PipelineError::DeadlineExceeded { .. }),
+        ) => return JobCompletion::Cancelled(e),
         Err(e) => return JobCompletion::Failed(e),
     };
     if !cache_hit {
@@ -323,12 +418,12 @@ mod tests {
         let cfg = PipelineConfig::paper_default(60_000);
         let spec = JobSpec::new("vpr.r", InputSet::Train, cfg).expect("spec");
 
-        let first = match run_job(&spec, &cache, &hists, Parallelism::new(2)) {
+        let first = match run_job(&spec, &cache, &hists, Parallelism::new(2), None) {
             JobCompletion::Done(out) => out,
             other => panic!("first run: {:?}", other.state()),
         };
         assert!(!first.cache_hit);
-        let second = match run_job(&spec, &cache, &hists, Parallelism::serial()) {
+        let second = match run_job(&spec, &cache, &hists, Parallelism::serial(), None) {
             JobCompletion::Done(out) => out,
             other => panic!("second run: {:?}", other.state()),
         };
@@ -363,7 +458,7 @@ mod tests {
         let hists = StageHists::new();
         let cfg = PipelineConfig::paper_default(40_000);
         let spec = JobSpec::new("gap", InputSet::Train, cfg).expect("spec");
-        let first = match run_job(&spec, &cache, &hists, Parallelism::serial()) {
+        let first = match run_job(&spec, &cache, &hists, Parallelism::serial(), None) {
             JobCompletion::Done(out) => out,
             other => panic!("first run: {:?}", other.state()),
         };
@@ -376,7 +471,7 @@ mod tests {
             .expect("cached slices file");
         std::fs::write(&slices, "preexec-slices version=2 checksum=0000000000000000\ngarbage\n")
             .expect("corrupt");
-        let again = match run_job(&spec, &cache, &hists, Parallelism::new(2)) {
+        let again = match run_job(&spec, &cache, &hists, Parallelism::new(2), None) {
             JobCompletion::Done(out) => out,
             other => panic!("rerun after corruption: {:?}", other.state()),
         };
@@ -393,7 +488,7 @@ mod tests {
         let hists = StageHists::new();
         let cfg = PipelineConfig { budget: 0, ..PipelineConfig::paper_default(1) };
         let spec = JobSpec::new("mcf", InputSet::Train, cfg).expect("spec");
-        match run_job(&spec, &cache, &hists, Parallelism::serial()) {
+        match run_job(&spec, &cache, &hists, Parallelism::serial(), None) {
             JobCompletion::Failed(e) => {
                 assert_eq!(e, preexec_experiments::PipelineError::ZeroBudget);
             }

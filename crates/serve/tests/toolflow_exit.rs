@@ -1,0 +1,56 @@
+//! Pins `toolflow --jobs N` per-job exit-code aggregation: one failing
+//! job must make the whole run exit nonzero (with the *first* failing
+//! job's code, in submission order), while every job's buffered output
+//! — including the successes — is still printed. A bad job can neither
+//! be masked by a later success nor swallow its siblings' reports.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::process::Command;
+
+fn run_toolflow_in(dir: &std::path::Path, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_toolflow"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("running toolflow")
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("toolflow-exit-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn one_failed_job_fails_the_whole_run_without_masking_sibling_output() {
+    let dir = temp_dir("aggregation");
+    // Sabotage exactly one of the two jobs: `mcf.slices` is a
+    // *directory*, so that job's slice-file write fails (code 3) while
+    // `vpr.r` is untouched.
+    std::fs::create_dir(dir.join("mcf.slices")).expect("planting the collision");
+
+    let out = run_toolflow_in(&dir, &["--jobs", "2", "vpr.r,mcf", "20000"]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+
+    // The run fails with the failing job's code — success of vpr.r must
+    // not mask it.
+    assert_eq!(out.status.code(), Some(3), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    // ... and the failing job must not swallow the good job's report.
+    assert!(stdout.contains("vpr.r: traced"), "good job's output missing:\n{stdout}");
+    assert!(stderr.contains("mcf.slices"), "failing job's diagnostic missing:\n{stderr}");
+    assert!(!stdout.contains("mcf: traced"), "failed job reported success:\n{stdout}");
+
+    // Same batch, healthy: exits 0 and reports both workloads, byte-wise
+    // independent of job count (`--jobs 1` vs `--jobs 2`).
+    std::fs::remove_dir(dir.join("mcf.slices")).expect("clearing the collision");
+    let serial = run_toolflow_in(&dir, &["--jobs", "1", "vpr.r,mcf", "20000"]);
+    let parallel = run_toolflow_in(&dir, &["--jobs", "2", "vpr.r,mcf", "20000"]);
+    assert_eq!(serial.status.code(), Some(0), "{serial:?}");
+    assert_eq!(parallel.status.code(), Some(0), "{parallel:?}");
+    assert_eq!(serial.stdout, parallel.stdout, "--jobs changed stdout");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
