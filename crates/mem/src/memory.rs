@@ -79,14 +79,16 @@ impl Memory {
         out
     }
 
-    fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        let off = (addr & PAGE_MASK) as usize;
-        if off + bytes.len() <= PAGE_SIZE {
-            self.page(addr)[off..off + bytes.len()].copy_from_slice(bytes);
-            return;
-        }
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, b);
+    fn write_bytes(&mut self, mut addr: u64, mut bytes: &[u8]) {
+        // Page-sized chunks: one page lookup per 4 KB, not per byte —
+        // workload data segments are megabytes, and segment loading is
+        // on every trace/sim run's critical path.
+        while !bytes.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let n = (PAGE_SIZE - off).min(bytes.len());
+            self.page(addr)[off..off + n].copy_from_slice(&bytes[..n]);
+            addr += n as u64;
+            bytes = &bytes[n..];
         }
     }
 
@@ -166,6 +168,18 @@ mod tests {
         m.write_slice(0x500, &[1, 2, 3, 4, 5]);
         assert_eq!(m.read_u8(0x500), 1);
         assert_eq!(m.read_u8(0x504), 5);
+    }
+
+    #[test]
+    fn write_slice_spanning_many_pages() {
+        let mut m = Memory::new();
+        let bytes: Vec<u8> = (0..3 * PAGE_SIZE + 7).map(|i| (i % 251) as u8).collect();
+        let base = PAGE_SIZE as u64 - 3; // start mid-page, cover 4+ pages
+        m.write_slice(base, &bytes);
+        assert_eq!(m.resident_pages(), 5);
+        for (i, &b) in bytes.iter().enumerate() {
+            assert_eq!(m.read_u8(base + i as u64), b, "byte {i}");
+        }
     }
 
     #[test]

@@ -140,6 +140,38 @@ impl AdmissionGate {
             high_water: self.high_water as u64,
         })
     }
+
+    /// Admits or sheds an `n`-job batch as a unit: admitted only when the
+    /// *whole* batch fits under the high-water mark, so a batch cannot
+    /// jump the soft wall by splitting its head under the line. One
+    /// decision covers the batch — one `admission.admitted` bump per
+    /// admitted job, or a single `admission.shed` and a single
+    /// `overloaded` error for the lot, whose retry hint accounts for the
+    /// full batch joining the backlog.
+    ///
+    /// # Errors
+    ///
+    /// [`Overloaded`] when `queued + running + n` would exceed the mark.
+    pub fn admit_batch(&self, queued: usize, running: usize, n: usize) -> Result<(), Overloaded> {
+        let n = n.max(1);
+        let outstanding = queued + running;
+        // `outstanding + n - 1 < high_water` ⟺ the last job of the batch
+        // still lands under the mark (mirrors the single-job predicate
+        // for n == 1).
+        if outstanding + n - 1 < self.high_water {
+            self.admitted.add(n as u64);
+            return Ok(());
+        }
+        self.shed.inc();
+        let over = (outstanding + n).saturating_sub(self.high_water).max(1);
+        let waves = over.div_ceil(self.workers) as u64;
+        let retry_after_ms = (waves * self.mean_job_ms()).clamp(MIN_RETRY_MS, MAX_RETRY_MS);
+        Err(Overloaded {
+            retry_after_ms,
+            outstanding: outstanding as u64,
+            high_water: self.high_water as u64,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +220,31 @@ mod tests {
         }
         let slow = g.admit(400, 2).expect_err("shed").retry_after_ms;
         assert_eq!(slow, MAX_RETRY_MS);
+    }
+
+    #[test]
+    fn batches_are_admitted_or_shed_as_a_unit() {
+        let (g, registry) = gate(6, 2);
+        // 2 outstanding + batch of 4: last job lands at occupancy 5 < 6.
+        assert!(g.admit_batch(1, 1, 4).is_ok());
+        assert_eq!(registry.counter("admission.admitted").get(), 4);
+        // 3 outstanding + batch of 4: job #4 would cross the mark — the
+        // whole batch sheds with one counted rejection.
+        let e = g.admit_batch(2, 1, 4).expect_err("batch crosses the mark");
+        assert_eq!(e.outstanding, 3, "reports live occupancy, not occupancy + n");
+        assert_eq!(registry.counter("admission.shed").get(), 1);
+        // The hint accounts for the whole batch draining: a larger batch
+        // at the same occupancy yields a hint at least as long.
+        for _ in 0..32 {
+            g.record_job_us(2_000_000); // 2 s jobs give the hint room
+        }
+        let small = g.admit_batch(6, 0, 2).expect_err("shed").retry_after_ms;
+        let large = g.admit_batch(6, 0, 40).expect_err("shed").retry_after_ms;
+        assert!(large >= small, "batch size must widen the hint ({small} vs {large})");
+        // n = 1 behaves exactly like single admit; n = 0 is clamped to 1.
+        assert!(g.admit_batch(4, 0, 1).is_ok());
+        assert!(g.admit_batch(4, 0, 0).is_ok());
+        assert!(g.admit_batch(5, 1, 1).is_err());
     }
 
     #[test]

@@ -23,13 +23,25 @@ options:
   --high-water N     admission high-water mark in outstanding jobs
                      (default 0: derive 3/4*queue-cap + workers)
   --no-journal       disable the durable job journal (WAL + crash recovery)
+  --wal-compact      compact the journal at startup (checkpoint + truncate)
+  --threaded         thread-per-connection front end instead of the epoll
+                     reactor (the reactor is the default on Linux)
+  --idle-timeout-ms N  close a connection stalled mid-request-line after
+                     N ms (slow-loris guard; default 10000)
+  --shard-id N       this daemon's index in the shard ring (default 0)
+  --shard-peers LIST comma-separated HOST:PORT of *all* shards in ring
+                     order, including this one; enables consistent-hash
+                     cache sharding when more than one is given
   --help             print this help
 
 protocol: one JSON object per line, e.g.
   {\"cmd\":\"submit\",\"workload\":\"vpr.r\",\"budget\":120000,\"deadline_ms\":60000}
+  {\"cmd\":\"submit_batch\",\"jobs\":[{\"workload\":\"mcf\",\"budget\":120000}]}
   {\"cmd\":\"status\",\"job\":1}   {\"cmd\":\"result\",\"job\":1}
   {\"cmd\":\"cancel\",\"job\":1}   {\"cmd\":\"stats\"}
   {\"cmd\":\"metrics\"}           {\"cmd\":\"shutdown\"}
+requests may carry an \"id\"; it is echoed on the response, so clients
+may pipeline many requests per connection before reading any response.
 ";
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
@@ -71,9 +83,32 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     v.parse().map_err(|_| format!("bad high-water mark `{v}`"))?;
             }
             "--no-journal" => cfg.journal = false,
+            "--wal-compact" => cfg.wal_compact = true,
+            "--threaded" => cfg.threaded = true,
+            "--idle-timeout-ms" => {
+                let v = value("--idle-timeout-ms")?;
+                cfg.idle_timeout_ms =
+                    v.parse().map_err(|_| format!("bad idle timeout `{v}`"))?;
+            }
+            "--shard-id" => {
+                let v = value("--shard-id")?;
+                cfg.shard_id = v.parse().map_err(|_| format!("bad shard id `{v}`"))?;
+            }
+            "--shard-peers" => {
+                let v = value("--shard-peers")?;
+                cfg.shard_peers =
+                    v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
+    }
+    if !cfg.shard_peers.is_empty() && cfg.shard_id >= cfg.shard_peers.len() {
+        return Err(format!(
+            "--shard-id {} is out of range for {} shard peer(s)",
+            cfg.shard_id,
+            cfg.shard_peers.len()
+        ));
     }
     Ok(cfg)
 }

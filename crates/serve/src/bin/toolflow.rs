@@ -5,6 +5,7 @@
 //!
 //! Usage: `toolflow [--jobs N] [--threads N] [--stream] [--profile] [workload[,workload...]|all] [budget] [out.slices]`
 //!        `toolflow [--threads N] [--profile] --read <file.slices>` (selection only, no re-tracing)
+//!        `toolflow --daemon HOST:PORT [workload[,workload...]|all] [budget]` (run via preexecd)
 //!
 //! With several workloads the runs are scheduled over `--jobs N` worker
 //! threads (default 1). Output is buffered per workload and printed in
@@ -51,15 +52,28 @@
 //! full, submission retries with the shared jittered-backoff policy
 //! ([`preexec_serve::retry`]) — the same contract daemon clients use
 //! when preexecd sheds with `retry_after_ms` (DESIGN.md §14.3).
+//!
+//! `--daemon HOST:PORT` runs the workloads through a preexecd instead
+//! of in-process: one pipelined `submit_batch` over a single connection
+//! (retried with the backoff policy when the daemon sheds the batch as
+//! `overloaded`), then per-job status polls and `result` fetches. The
+//! daemon owns execution and the artifact cache (possibly sharded), so
+//! `--jobs`/`--threads`/`--stream` do not apply. The exit-code contract
+//! is unchanged: results print in submission order and the first
+//! failing job's code (5 for pipeline faults and panics) wins.
 
 use preexec_core::{select_pthreads_par, Parallelism, SelectionParams};
 use preexec_experiments::Pipeline;
+use preexec_serve::json::Json;
 use preexec_serve::retry::{retry_with_backoff, Backoff};
 use preexec_serve::scheduler::{JobCompletion, Scheduler};
 use preexec_slice::{read_forest, read_forest_lenient, write_forest, SliceForest};
 use preexec_workloads::{suite, InputSet, Workload};
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// A CLI failure: the message for stderr plus the process exit code.
 struct Failure {
@@ -99,12 +113,19 @@ fn run(args: &[String]) -> Result<u8, Failure> {
     let mut threads: usize = 1;
     let mut profile = false;
     let mut stream = false;
+    let mut daemon: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--profile" => profile = true,
             "--stream" => stream = true,
+            "--daemon" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| Failure::new(2, "--daemon needs HOST:PORT"))?;
+                daemon = Some(v.clone());
+            }
             "--jobs" => {
                 let v = it
                     .next()
@@ -180,6 +201,13 @@ fn run(args: &[String]) -> Result<u8, Failure> {
             "an explicit output path only works with a single workload",
         ));
     }
+    if let Some(addr) = daemon {
+        if positional.get(2).is_some() {
+            return Err(Failure::new(2, "an output path does not apply with --daemon"));
+        }
+        let code = run_daemon(&addr, &selected, budget)?;
+        return Ok(code);
+    }
 
     // Schedule the workloads over a *bounded* queue; buffer each job's
     // output and print in submission order. A full queue is handled the
@@ -241,6 +269,172 @@ fn run(args: &[String]) -> Result<u8, Failure> {
         print_profile();
     }
     Ok(first_bad)
+}
+
+/// One connection to a preexecd, with the line-oriented request/response
+/// helper daemon mode needs. Requests carry no `id`: this client reads
+/// each response before writing the next request, so ordering alone
+/// matches them up.
+struct DaemonConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl DaemonConn {
+    fn connect(addr: &str) -> Result<DaemonConn, Failure> {
+        let writer = TcpStream::connect(addr)
+            .map_err(|e| Failure::new(3, format!("connecting to daemon at {addr}: {e}")))?;
+        let reader = writer
+            .try_clone()
+            .map_err(|e| Failure::new(3, format!("daemon socket at {addr}: {e}")))?;
+        Ok(DaemonConn { reader: BufReader::new(reader), writer })
+    }
+
+    fn exchange(&mut self, req: &Json) -> Result<Json, Failure> {
+        let mut line = req.encode();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| Failure::new(3, format!("writing to daemon: {e}")))?;
+        let mut resp = String::new();
+        let n = self
+            .reader
+            .read_line(&mut resp)
+            .map_err(|e| Failure::new(3, format!("reading from daemon: {e}")))?;
+        if n == 0 {
+            return Err(Failure::new(3, "daemon closed the connection"));
+        }
+        Json::parse(resp.trim_end())
+            .map_err(|e| Failure::new(3, format!("daemon sent unparsable JSON: {e}")))
+    }
+}
+
+/// Daemon mode: one `submit_batch` for every selected workload (retried
+/// with jittered backoff while the daemon sheds it as `overloaded`),
+/// then status polls and `result` fetches, reported in submission order
+/// under the local exit-code contract.
+fn run_daemon(addr: &str, selected: &[&Workload], budget: u64) -> Result<u8, Failure> {
+    let mut conn = DaemonConn::connect(addr)?;
+    let submit = Json::obj(vec![
+        ("cmd", Json::str("submit_batch")),
+        (
+            "jobs",
+            Json::Arr(
+                selected
+                    .iter()
+                    .map(|w| {
+                        Json::obj(vec![
+                            ("workload", Json::str(w.name)),
+                            ("budget", Json::num_u64(budget)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut backoff = Backoff::new(50, 5_000, 0x700f);
+    let ids: Vec<u64> = loop {
+        let resp = conn.exchange(&submit)?;
+        if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+            let ids: Vec<u64> = resp
+                .get("jobs")
+                .and_then(Json::as_arr)
+                .map(|arr| arr.iter().filter_map(Json::as_u64).collect())
+                .unwrap_or_default();
+            if ids.len() != selected.len() {
+                return Err(Failure::new(
+                    5,
+                    format!("daemon acked {} of {} batch jobs", ids.len(), selected.len()),
+                ));
+            }
+            break ids;
+        }
+        let code = resp.get("code").and_then(Json::as_str).unwrap_or("");
+        // The whole batch sheds as one typed `overloaded`; honor its
+        // retry_after_ms floor, give up after a bounded number of tries.
+        if code == "overloaded" && backoff.attempts() < 8 {
+            let hint = resp.get("retry_after_ms").and_then(Json::as_u64);
+            let delay = backoff.next_delay_ms(hint);
+            std::thread::sleep(Duration::from_millis(delay));
+            continue;
+        }
+        let err = resp.get("error").and_then(Json::as_str).unwrap_or("unknown error");
+        return Err(Failure::new(5, format!("daemon rejected the batch: {err}")));
+    };
+
+    let mut first_bad: u8 = 0;
+    for (w, &id) in selected.iter().zip(&ids) {
+        let report = fetch_daemon_report(&mut conn, w.name, id)?;
+        print!("{}", report.stdout);
+        eprint!("{}", report.stderr);
+        if first_bad == 0 && report.code != 0 {
+            first_bad = report.code;
+        }
+    }
+    Ok(first_bad)
+}
+
+/// Waits for one daemon job to reach a terminal state and renders its
+/// `result` as a buffered report: code 0 for `done`/`timed_out` (the
+/// timing watchdog is a sampling mode, not a failure), 5 for a failed,
+/// cancelled, or panicked job — mirroring what a local run of the same
+/// fault would exit with.
+fn fetch_daemon_report(conn: &mut DaemonConn, name: &str, job: u64) -> Result<JobReport, Failure> {
+    let status = Json::obj(vec![("cmd", Json::str("status")), ("job", Json::num_u64(job))]);
+    loop {
+        let resp = conn.exchange(&status)?;
+        if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+            let err = resp.get("error").and_then(Json::as_str).unwrap_or("unknown error");
+            return Err(Failure::new(5, format!("status of job {job} ({name}): {err}")));
+        }
+        match resp.get("state").and_then(Json::as_str) {
+            Some("queued" | "running") => std::thread::sleep(Duration::from_millis(20)),
+            _ => break,
+        }
+    }
+    let resp =
+        conn.exchange(&Json::obj(vec![("cmd", Json::str("result")), ("job", Json::num_u64(job))]))?;
+    let mut report = JobReport::default();
+    if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+        let err = resp.get("error").and_then(Json::as_str).unwrap_or("unknown error");
+        let _ = writeln!(report.stderr, "toolflow: result of job {job} ({name}): {err}");
+        report.code = 5;
+        return Ok(report);
+    }
+    match resp.get("state").and_then(Json::as_str) {
+        Some("done" | "timed_out") => {
+            let result = resp.get("result").cloned().unwrap_or(Json::Null);
+            let trace = result.get("trace").cloned().unwrap_or(Json::Null);
+            let num = |j: &Json, k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let fnum = |k: &str| result.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            let _ = writeln!(
+                report.stdout,
+                "{name}: daemon job {job}: {} insts, {} L2 misses, {} p-threads, \
+                 speedup {:.3}, coverage {:.1}%{}",
+                num(&trace, "insts"),
+                num(&trace, "l2_misses"),
+                num(&result, "num_pthreads"),
+                fnum("speedup"),
+                fnum("coverage_pct"),
+                if result.get("cache_hit").and_then(Json::as_bool) == Some(true) {
+                    " (cache hit)"
+                } else {
+                    ""
+                },
+            );
+        }
+        state => {
+            let err = resp.get("error").and_then(Json::as_str).unwrap_or("unknown error");
+            let code = resp.get("code").and_then(Json::as_str).unwrap_or("unknown");
+            let _ = writeln!(
+                report.stderr,
+                "toolflow: {name}: daemon job {job} {}: {err} ({code})",
+                state.unwrap_or("lost"),
+            );
+            report.code = 5;
+        }
+    }
+    Ok(report)
 }
 
 /// Prints the per-stage wall-clock profile from the global metrics

@@ -345,6 +345,109 @@ impl JournalReplay {
     }
 }
 
+/// What [`compact_wal`] did, for the daemon's shutdown log line and the
+/// compaction tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Jobs whose state survived into the compacted journal.
+    pub jobs_kept: usize,
+    /// Of those, jobs still pending (acked, never finished).
+    pub pending_kept: usize,
+    /// Valid records in the journal before compaction.
+    pub records_before: u64,
+    /// Corrupt lines dropped by the lenient fold.
+    pub corrupt_dropped: u64,
+    /// Records written to the compacted journal.
+    pub records_after: u64,
+    /// File size before, in bytes.
+    pub bytes_before: u64,
+    /// File size after, in bytes.
+    pub bytes_after: u64,
+}
+
+/// Checkpoint-and-truncate compaction: rewrites the journal at `path` to
+/// the minimal record set that replays to the same per-job state, fixing
+/// the WAL's unbounded growth across long daemon lifetimes.
+///
+/// The compacted journal keeps, per job in id order:
+///
+/// - the `submit` record (when its spec survived) — **always**, even for
+///   finished jobs. Terminal-state redundancy is deliberate: replay only
+///   needs one record per finished job, but a single torn line must
+///   degrade a job to "re-run deterministically" (submit survives) or
+///   "finished, result served from the terminal record" (terminal
+///   survives) — never to "never heard of this id". The id allocator's
+///   high-water mark (`max_job_id`) survives single-line loss the same
+///   way;
+/// - the latest terminal record (`done`/`failed`/`cancelled`), re-runs
+///   folded away.
+///
+/// Everything else — `start` records, `shutdown` markers, superseded
+/// re-run terminals, corrupt lines — is dropped. Sequence numbers are
+/// renumbered from 1 (per-file monotonicity is the invariant; absolute
+/// values are not), and the rewrite is atomic (tmp + rename), so a crash
+/// mid-compaction leaves the old journal intact.
+///
+/// # Errors
+///
+/// Propagates filesystem errors. A missing journal is a no-op success.
+pub fn compact_wal(path: &Path) -> std::io::Result<CompactionStats> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(CompactionStats::default())
+        }
+        Err(e) => return Err(e),
+    };
+    let replay = JournalReplay::from_text(&text);
+    let mut out = String::new();
+    let mut seq = 0u64;
+    let mut append = |ev: &str, fields: Vec<(&str, Json)>| {
+        seq += 1;
+        let mut pairs = vec![("seq", Json::num_u64(seq)), ("ev", Json::str(ev))];
+        pairs.extend(fields);
+        out.push_str(&encode_record(&Json::obj(pairs)));
+        out.push('\n');
+    };
+    let mut pending_kept = 0usize;
+    for (&id, job) in &replay.jobs {
+        if let Some(spec) = &job.spec {
+            append("submit", vec![("job", Json::num_u64(id)), ("spec", spec.clone())]);
+        }
+        match &job.terminal {
+            None => pending_kept += 1,
+            Some(t) => match t.state.as_str() {
+                s @ ("failed" | "cancelled") => append(
+                    s,
+                    vec![
+                        ("job", Json::num_u64(id)),
+                        ("error", Json::str(t.error.clone().unwrap_or_default())),
+                        ("code", Json::str(t.code.clone().unwrap_or_default())),
+                    ],
+                ),
+                state => {
+                    let mut fields =
+                        vec![("job", Json::num_u64(id)), ("state", Json::str(state))];
+                    if let Some(result) = &t.result {
+                        fields.push(("result", result.clone()));
+                    }
+                    append("done", fields);
+                }
+            },
+        }
+    }
+    crate::cache::write_atomically(path, &out)?;
+    Ok(CompactionStats {
+        jobs_kept: replay.jobs.len(),
+        pending_kept,
+        records_before: replay.records,
+        corrupt_dropped: replay.corrupt_records,
+        records_after: seq,
+        bytes_before: text.len() as u64,
+        bytes_after: out.len() as u64,
+    })
+}
+
 /// The canonical (deterministic) rendering of a result payload: the
 /// payload minus the wall-clock fields that legitimately differ between
 /// two runs of the same job (`stage_us`) and the cache-dependent
@@ -564,6 +667,152 @@ mod tests {
         assert_eq!(canonical_result(&a), canonical_result(&b));
         let c = Json::obj(vec![("speedup", Json::Num(2.5))]);
         assert_ne!(canonical_result(&a), canonical_result(&c));
+    }
+
+    #[test]
+    fn compaction_preserves_replay_state_and_shrinks_the_file() {
+        let path = tmp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let j = JobJournal::open(&path, 1).expect("open");
+        let payload = Json::obj(vec![("speedup", Json::Num(1.5))]);
+        // A noisy lifetime: re-runs, failures, a cancel, a pending job,
+        // and shutdown markers — everything compaction should boil down.
+        for id in 1..=6u64 {
+            j.submit(id, &spec());
+        }
+        for id in 1..=5u64 {
+            j.start(id);
+        }
+        j.done(1, "done", &payload);
+        j.start(1); // crash re-run...
+        j.done(1, "done", &payload); // ...byte-identical second terminal
+        j.done(2, "timed_out", &payload);
+        j.failed(3, "boom", "job_panicked");
+        j.cancelled(4, "client cancel", "cancelled");
+        j.done(5, "done", &payload);
+        j.shutdown(&[6], &[]);
+        // Job 6 stays pending: acked, never started.
+        drop(j);
+
+        let before_text = std::fs::read_to_string(&path).expect("read");
+        let before = JournalReplay::from_text(&before_text);
+        let stats = compact_wal(&path).expect("compact");
+        let after_text = std::fs::read_to_string(&path).expect("read");
+        let after = JournalReplay::from_text(&after_text);
+
+        // Replay equivalence: same jobs, same terminal states, same
+        // canonical result bytes, same pending set, same id high-water.
+        assert_eq!(after.jobs.len(), before.jobs.len());
+        assert_eq!(after.max_job_id, before.max_job_id);
+        assert_eq!(
+            after.pending().iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            before.pending().iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+        );
+        for (id, b) in &before.jobs {
+            let a = &after.jobs[id];
+            match (&b.terminal, &a.terminal) {
+                (None, None) => {}
+                (Some(bt), Some(at)) => {
+                    assert_eq!(bt.state, at.state, "job {id}");
+                    assert_eq!(
+                        bt.result.as_ref().map(canonical_result),
+                        at.result.as_ref().map(canonical_result),
+                        "job {id}"
+                    );
+                    assert_eq!((&bt.error, &bt.code), (&at.error, &at.code), "job {id}");
+                }
+                other => panic!("job {id}: terminal mismatch {other:?}"),
+            }
+            assert_eq!(a.spec.is_some(), b.spec.is_some(), "job {id}");
+        }
+        // The compacted file is smaller, invariant-clean, and keeps the
+        // submit+terminal redundancy: exactly 2 records per finished job,
+        // 1 per pending job.
+        assert!(stats.bytes_after < stats.bytes_before, "{stats:?}");
+        assert_eq!(stats.records_after, 5 * 2 + 1);
+        assert_eq!((stats.jobs_kept, stats.pending_kept), (6, 1));
+        assert!(check_invariants(&after_text).is_empty());
+        assert_eq!(after.corrupt_records, 0);
+        // Seqs renumber from 1 and a reopened journal continues cleanly.
+        assert_eq!(after.next_seq, stats.records_after + 1);
+        let j2 = JobJournal::open(&path, after.next_seq).expect("reopen");
+        j2.submit(7, &spec());
+        drop(j2);
+        assert!(check_invariants(&std::fs::read_to_string(&path).expect("read")).is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_is_idempotent_and_bounds_growth_across_generations() {
+        let path = tmp_path("compact-gen");
+        let _ = std::fs::remove_file(&path);
+        let payload = Json::obj(vec![("speedup", Json::Num(2.0))]);
+        // Many daemon generations, each running a batch to completion and
+        // compacting on shutdown; only the *pending-free* history should
+        // accumulate — i.e. the file stays proportional to job count, not
+        // to (jobs × lifecycle records × generations).
+        let mut next_id = 1u64;
+        let mut sizes = Vec::new();
+        for _generation in 0..3 {
+            let replay = JournalReplay::read(&path);
+            let j = JobJournal::open(&path, replay.next_seq).expect("open");
+            for _ in 0..4 {
+                let id = next_id;
+                next_id += 1;
+                j.submit(id, &spec());
+                j.start(id);
+                j.done(id, "done", &payload);
+            }
+            j.shutdown(&[], &[]);
+            drop(j);
+            compact_wal(&path).expect("compact");
+            sizes.push(std::fs::metadata(&path).expect("meta").len());
+        }
+        // 4, 8, 12 finished jobs → linear growth in the compacted file.
+        assert!(sizes[1] > sizes[0] && sizes[2] > sizes[1]);
+        let per_job = sizes[0] as f64 / 4.0;
+        assert!(
+            (sizes[2] as f64) < per_job * 12.0 * 1.25,
+            "compacted size must stay ~linear in jobs: {sizes:?}"
+        );
+        // Idempotent: compacting a compacted journal is byte-stable.
+        let once = std::fs::read_to_string(&path).expect("read");
+        let stats = compact_wal(&path).expect("recompact");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), once);
+        assert_eq!(stats.records_before, stats.records_after);
+        // A missing journal is a clean no-op.
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(compact_wal(&path).expect("missing ok"), CompactionStats::default());
+    }
+
+    #[test]
+    fn a_single_torn_line_in_a_compacted_journal_never_loses_an_id() {
+        // The redundancy rationale pinned as a test: whichever single
+        // line of a finished job's (submit, terminal) pair is lost, the
+        // id still replays (as pending-for-rerun or as finished).
+        let path = tmp_path("compact-torn");
+        let _ = std::fs::remove_file(&path);
+        let j = JobJournal::open(&path, 1).expect("open");
+        j.submit(9, &spec());
+        j.start(9);
+        j.done(9, "done", &Json::obj(vec![("speedup", Json::Num(1.1))]));
+        drop(j);
+        compact_wal(&path).expect("compact");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "submit + terminal");
+        for lost in 0..lines.len() {
+            let surviving: Vec<&str> =
+                (0..lines.len()).filter(|&i| i != lost).map(|i| lines[i]).collect();
+            let replay = JournalReplay::from_text(&surviving.join("\n"));
+            assert_eq!(replay.max_job_id, 9, "losing line {lost} must not lose the id");
+            let job = &replay.jobs[&9];
+            assert!(
+                job.terminal.is_some() || job.is_pending(),
+                "losing line {lost} must leave the job servable or re-runnable"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

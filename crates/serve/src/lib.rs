@@ -40,11 +40,24 @@
 //! `toolflow` (the batch CLI, which runs its workloads through the same
 //! scheduler via `--jobs N`).
 //!
+//! The serving tier (DESIGN.md §15) adds two subsystems on top:
+//!
+//! - [`reactor`] — a dependency-free epoll event loop (raw syscalls,
+//!   no libc) that multiplexes every connection on one thread, with
+//!   pipelined request handling: clients may write N request lines
+//!   before reading responses, and responses echo each request's `id`;
+//! - [`shard`] — consistent-hash sharding of the artifact cache across
+//!   daemon processes: a [`shard::HashRing`] assigns each cache key an
+//!   owning shard, peers exchange raw artifacts over the same wire
+//!   protocol (`cache_get`/`cache_put`), and every peer failure
+//!   degrades to local compute rather than a client-visible error.
+//!
 //! Everything here is `std`-only: no async runtime, no serde, no
-//! registry dependencies. OS threads and blocking sockets are a good
-//! fit — jobs run for seconds, connections are few, and determinism of
-//! the *results* (bit-identical to a direct pipeline run) is the
-//! contract that matters.
+//! registry dependencies. Jobs run on a fixed OS-thread pool; the
+//! connection front end is the nonblocking [`reactor`] on Linux (a
+//! thread-per-connection fallback remains for other platforms and
+//! `--threaded`). Determinism of the *results* (bit-identical to a
+//! direct pipeline run) is the contract that matters, sharded or not.
 
 pub mod admission;
 pub mod cache;
@@ -53,17 +66,23 @@ pub mod histogram;
 pub mod journal;
 pub mod json;
 pub mod proto;
+pub mod reactor;
 pub mod retry;
 pub mod scheduler;
 pub mod server;
 pub mod service;
+pub mod shard;
 
 pub use admission::{AdmissionGate, Overloaded};
-pub use cache::{ArtifactCache, CacheStats, TraceKey};
+pub use cache::{ArtifactCache, CacheStats, RawStoreError, TraceKey};
 pub use histogram::{histogram_json, Histogram};
-pub use journal::{canonical_result, check_invariants, JobJournal, JournalReplay};
+pub use journal::{
+    canonical_result, check_invariants, compact_wal, CompactionStats, JobJournal, JournalReplay,
+};
 pub use json::Json;
 pub use proto::{parse_request, ProtoError, Request, PROTOCOL_VERSION};
+pub use reactor::{LineHandler, ReactorConfig};
+pub use shard::{HashRing, ShardStats, ShardedCache, DEFAULT_VNODES};
 pub use retry::{retry_with_backoff, Backoff};
 pub use scheduler::{
     CancelOutcome, JobCompletion, JobId, JobState, Scheduler, SchedulerStats, SubmitError,

@@ -10,15 +10,26 @@
 //! | `cmd` | fields | response payload |
 //! |-------|--------|------------------|
 //! | `submit` | `workload` (required), `input`, `budget`, `warmup`, `scope`, `max_slice_len`, `max_pthread_len`, `optimize`, `merge`, `width`, `mem_latency`, `model_miss_latency`, `model_width`, `deadline_ms` | `job` id |
+//! | `submit_batch` | `jobs`: a non-empty array of submit objects | `jobs`: array of ids, in order |
 //! | `status` | `job` | `state` (+ `error` when failed) |
 //! | `result` | `job` | `state`, `cache_hit`, `result{...}` |
 //! | `cancel` | `job` | `state` after the attempt (+ `cancelling: true` when the job is mid-run and will stop at its next stage boundary) |
 //! | `stats` | — | queue/worker/cache/stage-latency report |
 //! | `metrics` | — | full metrics registry: `counters`, `gauges`, `histograms`, `events`, plus a Prometheus-style `prometheus` text rendering |
+//! | `cache_get` | `key` (16 hex digits) | `hit`, plus `slices`/`stats` artifact text on a hit — the shard peer protocol (DESIGN.md §15.3) |
+//! | `cache_put` | `key`, `slices`, `stats` | `stored: true` |
 //! | `shutdown` | — | `shutting_down: true` with the `queued`/`running` counts the drain will finish (journaled, so nothing is silently lost) |
+//!
+//! Pipelining: any request may carry an `id` field (any JSON value);
+//! the response echoes it verbatim, so a client may keep N requests in
+//! flight on one connection and match responses explicitly instead of
+//! by arrival order (responses do also arrive in request order).
 //!
 //! Overload: past the admission high-water mark, `submit` fails fast
 //! with code `overloaded` and a `retry_after_ms` hint (DESIGN.md §14.3).
+//! `submit_batch` is admitted or shed *as a whole*: one `overloaded`
+//! decision (and one `retry_after_ms`) for the entire batch — partial
+//! batch admission would force clients to diff which jobs got in.
 //!
 //! Submit fields default to [`PipelineConfig::paper_default`] at the
 //! given budget (default 120 000 instructions); `width` and
@@ -41,8 +52,10 @@ use std::fmt;
 /// `code` field on errors and this stamp itself; version 3 added the
 /// `cancel` verb, `deadline_ms`, the `cancelled` job state, the
 /// `overloaded` rejection with `retry_after_ms`, and the drain counts in
-/// the `shutdown` response.
-pub const PROTOCOL_VERSION: u64 = 3;
+/// the `shutdown` response; version 4 added request-`id` echo
+/// (pipelining), the `submit_batch` verb, and the `cache_get`/
+/// `cache_put` shard-peer verbs.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// A protocol-level failure: why a request line could not be parsed or
 /// served. [`code`](ProtoError::code) is the stable contract; the
@@ -81,6 +94,17 @@ pub enum ProtoError {
         /// Its current state name.
         state: &'static str,
     },
+    /// One job inside a `submit_batch` failed validation; the whole
+    /// batch is rejected (all-or-nothing, like admission).
+    BatchJob {
+        /// Zero-based index of the offending job in the `jobs` array.
+        index: usize,
+        /// Why that job was rejected.
+        inner: Box<ProtoError>,
+    },
+    /// A `cache_put` payload failed validation (corrupt slice text or
+    /// unparseable stats) — the shard peer refused to persist it.
+    ShardPayload(&'static str),
 }
 
 impl ProtoError {
@@ -100,6 +124,11 @@ impl ProtoError {
             ProtoError::Overloaded(_) => "overloaded",
             ProtoError::UnknownJob(_) => "unknown_job",
             ProtoError::NotFinished { .. } => "job_not_finished",
+            // A batch inherits the offending job's code: a client
+            // handling `overloaded` or `config.*` for single submits
+            // needs no new branches for batches.
+            ProtoError::BatchJob { inner, .. } => inner.code(),
+            ProtoError::ShardPayload(_) => "shard.bad_payload",
         }
     }
 }
@@ -110,8 +139,8 @@ impl fmt::Display for ProtoError {
             ProtoError::BadJson(m) | ProtoError::UnknownWorkload(m) => write!(f, "{m}"),
             ProtoError::UnknownCmd(c) => write!(
                 f,
-                "unknown cmd `{c}` (expected submit, status, result, cancel, stats, metrics, \
-                 or shutdown)"
+                "unknown cmd `{c}` (expected submit, submit_batch, status, result, cancel, \
+                 stats, metrics, cache_get, cache_put, or shutdown)"
             ),
             ProtoError::BadField { field, expected } => {
                 write!(f, "field `{field}` must be {expected}")
@@ -126,6 +155,12 @@ impl fmt::Display for ProtoError {
             ProtoError::NotFinished { job, state } => {
                 write!(f, "job {job} is {state} — poll `status` until it finishes")
             }
+            ProtoError::BatchJob { index, inner } => {
+                write!(f, "batch job #{index}: {inner}")
+            }
+            ProtoError::ShardPayload(why) => {
+                write!(f, "shard peer rejected the cache payload: {why}")
+            }
         }
     }
 }
@@ -136,6 +171,7 @@ impl std::error::Error for ProtoError {
             ProtoError::Config(e) => Some(e),
             ProtoError::Submit(e) => Some(e),
             ProtoError::Overloaded(e) => Some(e),
+            ProtoError::BatchJob { inner, .. } => Some(inner.as_ref()),
             _ => None,
         }
     }
@@ -158,6 +194,9 @@ impl From<PipelineError> for ProtoError {
 pub enum Request {
     /// Enqueue a job.
     Submit(Box<JobSpec>),
+    /// Enqueue several jobs atomically: all admitted (ids in order) or
+    /// none (one typed error for the batch).
+    SubmitBatch(Vec<JobSpec>),
     /// Report a job's state.
     Status(JobId),
     /// Report a finished job's result.
@@ -168,6 +207,18 @@ pub enum Request {
     Stats,
     /// Report the full metrics registry (JSON + Prometheus text).
     Metrics,
+    /// Shard peer protocol: fetch the raw cached artifact for a cache
+    /// key digest from the shard that owns it.
+    CacheGet(u64),
+    /// Shard peer protocol: persist a raw artifact on the owning shard.
+    CachePut {
+        /// The cache key digest (owner-addressed).
+        key: u64,
+        /// The `.slices` file text (checksummed v2 format).
+        slices: String,
+        /// The `.stats` sidecar JSON text.
+        stats: String,
+    },
     /// Drain and exit.
     Shutdown,
 }
@@ -181,20 +232,92 @@ pub enum Request {
 /// configuration (validated *before* the job is queued).
 pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     let json = Json::parse(line).map_err(|e| ProtoError::BadJson(e.to_string()))?;
+    parse_request_json(&json)
+}
+
+/// Parses an already-decoded request object. The server's dispatch path
+/// uses this so the line is decoded exactly once (the `id` echo needs
+/// the raw object too).
+pub fn parse_request_json(json: &Json) -> Result<Request, ProtoError> {
     let cmd = json
         .get("cmd")
         .and_then(Json::as_str)
         .ok_or(ProtoError::BadField { field: "cmd", expected: "a string" })?;
     match cmd {
-        "submit" => parse_submit(&json).map(|s| Request::Submit(Box::new(s))),
-        "status" => job_id(&json).map(Request::Status),
-        "result" => job_id(&json).map(Request::Result),
-        "cancel" => job_id(&json).map(Request::Cancel),
+        "submit" => parse_submit(json).map(|s| Request::Submit(Box::new(s))),
+        "submit_batch" => parse_submit_batch(json).map(Request::SubmitBatch),
+        "status" => job_id(json).map(Request::Status),
+        "result" => job_id(json).map(Request::Result),
+        "cancel" => job_id(json).map(Request::Cancel),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
+        "cache_get" => cache_key(json).map(Request::CacheGet),
+        "cache_put" => {
+            let key = cache_key(json)?;
+            let slices = required_str(json, "slices")?;
+            let stats = required_str(json, "stats")?;
+            Ok(Request::CachePut { key, slices, stats })
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ProtoError::UnknownCmd(other.to_string())),
     }
+}
+
+/// The request's `id` field, echoed verbatim in the response (the
+/// pipelining correlation handle). Absent or null means no echo.
+pub fn request_id(json: &Json) -> Option<Json> {
+    match json.get("id") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.clone()),
+    }
+}
+
+/// Appends the echoed request `id` to a response object (no-op without
+/// an id; non-object responses never occur).
+pub fn with_request_id(mut resp: Json, id: Option<Json>) -> Json {
+    if let (Json::Obj(fields), Some(id)) = (&mut resp, id) {
+        fields.push(("id".to_string(), id));
+    }
+    resp
+}
+
+fn parse_submit_batch(json: &Json) -> Result<Vec<JobSpec>, ProtoError> {
+    let jobs = json
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .ok_or(ProtoError::BadField { field: "jobs", expected: "an array of submit objects" })?;
+    if jobs.is_empty() {
+        return Err(ProtoError::BadField {
+            field: "jobs",
+            expected: "a non-empty array of submit objects",
+        });
+    }
+    jobs.iter()
+        .enumerate()
+        .map(|(index, job)| {
+            parse_submit(job)
+                .map_err(|e| ProtoError::BatchJob { index, inner: Box::new(e) })
+        })
+        .collect()
+}
+
+fn cache_key(json: &Json) -> Result<u64, ProtoError> {
+    let text = json
+        .get("key")
+        .and_then(Json::as_str)
+        .ok_or(ProtoError::BadField { field: "key", expected: "a 16-hex-digit string" })?;
+    if text.len() != 16 {
+        return Err(ProtoError::BadField { field: "key", expected: "a 16-hex-digit string" });
+    }
+    u64::from_str_radix(text, 16)
+        .map_err(|_| ProtoError::BadField { field: "key", expected: "a 16-hex-digit string" })
+}
+
+fn required_str(json: &Json, field: &'static str) -> Result<String, ProtoError> {
+    json.get(field)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or(ProtoError::BadField { field, expected: "a string" })
 }
 
 fn job_id(json: &Json) -> Result<JobId, ProtoError> {
@@ -536,6 +659,90 @@ mod tests {
         assert_eq!(resp.get("retry_after_ms").and_then(Json::as_u64), Some(750));
         // Other errors stay hint-free.
         assert!(error_response(&ProtoError::UnknownJob(1)).get("retry_after_ms").is_none());
+    }
+
+    #[test]
+    fn submit_batch_parses_all_or_rejects_with_the_offending_index() {
+        let Ok(Request::SubmitBatch(specs)) = parse_request(
+            r#"{"cmd":"submit_batch","jobs":[
+                {"workload":"vpr.r","budget":30000},
+                {"workload":"mcf","budget":40000,"input":"test"}]}"#,
+        ) else {
+            panic!("healthy batch must parse");
+        };
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].workload_name, "vpr.r");
+        assert_eq!(specs[1].input, InputSet::Test);
+
+        // One bad job rejects the whole batch, naming the index and
+        // keeping the inner error's stable code.
+        let Err(e) = parse_request(
+            r#"{"cmd":"submit_batch","jobs":[
+                {"workload":"vpr.r"},{"workload":"nope"}]}"#,
+        ) else {
+            panic!("bad batch must be rejected");
+        };
+        assert_eq!(e.code(), "unknown_workload");
+        assert!(e.to_string().contains("batch job #1"), "{e}");
+
+        // Empty and mistyped `jobs` are field errors.
+        for line in [
+            r#"{"cmd":"submit_batch","jobs":[]}"#,
+            r#"{"cmd":"submit_batch"}"#,
+            r#"{"cmd":"submit_batch","jobs":3}"#,
+        ] {
+            let Err(e) = parse_request(line) else { panic!("`{line}` must be rejected") };
+            assert_eq!(e.code(), "bad_field", "`{line}`");
+        }
+    }
+
+    #[test]
+    fn request_ids_echo_verbatim_and_only_when_present() {
+        let json = Json::parse(r#"{"cmd":"stats","id":42}"#).expect("parses");
+        let resp = with_request_id(ok_response(vec![]), request_id(&json));
+        assert_eq!(resp.get("id").and_then(Json::as_u64), Some(42));
+
+        // String ids survive untouched.
+        let json = Json::parse(r#"{"cmd":"stats","id":"req-7"}"#).expect("parses");
+        let resp = with_request_id(error_response(&ProtoError::UnknownJob(1)), request_id(&json));
+        assert_eq!(resp.get("id").and_then(Json::as_str), Some("req-7"));
+
+        // No id (or a null one) → no echo.
+        for line in [r#"{"cmd":"stats"}"#, r#"{"cmd":"stats","id":null}"#] {
+            let json = Json::parse(line).expect("parses");
+            let resp = with_request_id(ok_response(vec![]), request_id(&json));
+            assert!(resp.get("id").is_none(), "{line}");
+        }
+    }
+
+    #[test]
+    fn cache_peer_verbs_parse_and_validate_their_keys() {
+        let Ok(Request::CacheGet(key)) =
+            parse_request(r#"{"cmd":"cache_get","key":"00ab34cd56ef7890"}"#)
+        else {
+            panic!("cache_get must parse");
+        };
+        assert_eq!(key, 0x00ab_34cd_56ef_7890);
+
+        let Ok(Request::CachePut { key, slices, stats }) = parse_request(
+            r#"{"cmd":"cache_put","key":"ffffffffffffffff","slices":"S\nL","stats":"{}"}"#,
+        ) else {
+            panic!("cache_put must parse");
+        };
+        assert_eq!(key, u64::MAX);
+        assert_eq!(slices, "S\nL");
+        assert_eq!(stats, "{}");
+
+        for line in [
+            r#"{"cmd":"cache_get"}"#,
+            r#"{"cmd":"cache_get","key":"xyz"}"#,
+            r#"{"cmd":"cache_get","key":"123"}"#,
+            r#"{"cmd":"cache_put","key":"00ab34cd56ef7890"}"#,
+        ] {
+            let Err(e) = parse_request(line) else { panic!("`{line}` must be rejected") };
+            assert_eq!(e.code(), "bad_field", "`{line}`");
+        }
+        assert_eq!(ProtoError::ShardPayload("corrupt").code(), "shard.bad_payload");
     }
 
     #[test]

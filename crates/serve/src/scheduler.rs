@@ -290,6 +290,47 @@ impl<T: Send + 'static> Scheduler<T> {
         Ok(id)
     }
 
+    /// Enqueues a batch of jobs atomically: either every job is accepted
+    /// (contiguous ids, in order) or none is. Admission is all-or-nothing
+    /// so a `submit_batch` client never has to reason about a partially
+    /// accepted batch — on overload the whole batch retries later.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the batch does not fit in the
+    /// remaining queue capacity, [`SubmitError::ShuttingDown`] after a
+    /// drain started. An empty batch is accepted trivially.
+    pub fn submit_batch(&self, jobs: Vec<JobFn<T>>) -> Result<Vec<JobId>, SubmitError> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = jobs.len();
+        let mut st = lock(&self.inner.state);
+        if !st.accepting {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.queue.len() + n > self.inner.queue_cap {
+            return Err(SubmitError::QueueFull { cap: self.inner.queue_cap });
+        }
+        let mut ids = Vec::with_capacity(n);
+        for job in jobs {
+            let id = st.next_id;
+            st.next_id += 1;
+            st.submitted += 1;
+            st.records.insert(id, Record::Queued);
+            st.queue.push_back((id, job));
+            ids.push(id);
+        }
+        let depth = st.queue.len();
+        drop(st);
+        let reg = preexec_obs::global();
+        reg.counter("sched.submitted").add(n as u64);
+        reg.gauge("sched.queue_depth").set(depth as i64);
+        // Every worker may have work now, not just one.
+        self.inner.work_cv.notify_all();
+        Ok(ids)
+    }
+
     /// Re-enqueues a journaled job under its **original id** during
     /// crash recovery. Bypasses the queue cap (the work was already
     /// acked in a previous life; shedding it now would break the
@@ -676,6 +717,51 @@ mod tests {
         );
         let stats = sched.stats();
         assert_eq!((stats.done, stats.cancelled), (1, 1));
+    }
+
+    #[test]
+    fn batch_submit_is_all_or_nothing_with_contiguous_ids() {
+        let sched: Scheduler<u64> = Scheduler::new(1, 4);
+        let gate = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        let blocker = sched
+            .submit(Box::new(move |_| {
+                while g.load(Ordering::SeqCst) == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                JobCompletion::Done(0)
+            }))
+            .expect("blocker");
+        while sched.state(blocker) != Some(JobState::Running) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Worker busy, queue empty (cap 4): a batch of 3 fits whole.
+        let jobs: Vec<JobFn<u64>> = (0..3u64)
+            .map(|i| Box::new(move |_| JobCompletion::Done(i * 10)) as JobFn<u64>)
+            .collect();
+        let ids = sched.submit_batch(jobs).expect("batch fits");
+        assert_eq!(ids, vec![2, 3, 4], "contiguous ids in submission order");
+        // Queue now holds 3 of 4: a batch of 2 must be rejected whole,
+        // accepting neither job.
+        let too_big: Vec<JobFn<u64>> = (0..2u64)
+            .map(|_| Box::new(move |_| JobCompletion::Done(0u64)) as JobFn<u64>)
+            .collect();
+        assert_eq!(
+            sched.submit_batch(too_big),
+            Err(SubmitError::QueueFull { cap: 4 })
+        );
+        assert_eq!(sched.stats().queued, 3, "rejected batch admitted nothing");
+        // A single job still fits the last slot, and an empty batch is a
+        // no-op even at capacity.
+        sched.submit(Box::new(|_| JobCompletion::Done(0))).expect("single fits");
+        assert_eq!(sched.submit_batch(Vec::new()), Ok(Vec::new()));
+        gate.store(1, Ordering::SeqCst);
+        sched.shutdown();
+        assert_eq!(sched.stats().done, 5);
+        // After a drain, batches are rejected as shutting down.
+        let late: Vec<JobFn<u64>> =
+            vec![Box::new(move |_| JobCompletion::Done(0u64)) as JobFn<u64>];
+        assert_eq!(sched.submit_batch(late), Err(SubmitError::ShuttingDown));
     }
 
     #[test]

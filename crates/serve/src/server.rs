@@ -1,11 +1,26 @@
-//! The TCP front end: accept loop, per-connection handlers, dispatch.
+//! The TCP front end: connection handling, dispatch, shard topology.
 //!
 //! Connections speak the newline-delimited JSON protocol of
-//! [`proto`](crate::proto). Each accepted connection gets its own handler
-//! thread; handlers share the scheduler, the artifact cache, and the
-//! stage histograms through [`Arc`]s. Reads carry a short timeout so
+//! [`proto`](crate::proto). On Linux the default front end is the
+//! [`reactor`](crate::reactor): one thread multiplexes every connection
+//! through epoll, requests pipeline (N request lines in flight per
+//! connection, responses in order, each echoing its request `id`), and
+//! dispatch runs on the reactor thread — it only enqueues scheduler work,
+//! so the single thread is never the bottleneck. The original
+//! thread-per-connection loop remains as the non-Linux front end and
+//! behind `--threaded`; both share [`dispatch`], so the protocol is
+//! identical. In the threaded loop, reads carry a short timeout so
 //! handler threads notice a daemon shutdown promptly instead of blocking
 //! forever on an idle client, which keeps the final join bounded.
+//!
+//! Sharding (DESIGN.md §15.3): with `--shard-peers`, the daemon is one
+//! shard of an N-process cluster. Job submission stays shard-local — any
+//! shard accepts any job — but the artifact cache routes through the
+//! [`ShardedCache`]'s hash ring, so each trace artifact is computed and
+//! stored once cluster-wide instead of once per shard. The
+//! `cache_get`/`cache_put` verbs are the peer side: they answer strictly
+//! from the *local* cache (no recursive routing, no cross-shard
+//! deadlock), and every peer failure degrades to local compute.
 //!
 //! Shutdown ("graceful drain"): the `shutdown` command journals and
 //! reports the still-pending job counts, flips a flag, answers the
@@ -25,18 +40,20 @@
 //! byte-identically.
 
 use crate::admission::AdmissionGate;
-use crate::cache::ArtifactCache;
+use crate::cache::{ArtifactCache, RawStoreError};
 use crate::histogram::histogram_json;
-use crate::journal::{JobJournal, JournalReplay, TerminalRecord};
+use crate::journal::{compact_wal, JobJournal, JournalReplay, TerminalRecord};
 use crate::json::Json;
 use crate::proto::{
-    error_response, ok_response, parse_request, result_json, spec_json, ProtoError, Request,
+    error_response, ok_response, parse_request_json, request_id, result_json, spec_json,
+    with_request_id, ProtoError, Request, PROTOCOL_VERSION,
 };
 use crate::scheduler::{CancelOutcome, JobCompletion, JobId, JobState, Scheduler, SubmitError};
 use crate::service::{run_job, CancelToken, JobOutput, JobSpec, StageHists};
+use crate::shard::ShardedCache;
 use preexec_core::par::Parallelism;
 use preexec_experiments::PipelineError;
-use preexec_obs::{render_prometheus, Counter, Gauge};
+use preexec_obs::{render_prometheus, Counter, Gauge, SharedHistogram};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -70,6 +87,22 @@ pub struct ServerConfig {
     /// Admission-control high-water mark in outstanding jobs
     /// (queued + running); 0 derives ¾·`queue_cap` + workers.
     pub high_water: usize,
+    /// Use the legacy thread-per-connection front end instead of the
+    /// epoll reactor (always the case off Linux).
+    pub threaded: bool,
+    /// Reactor slow-loris timeout: a connection whose *partial* request
+    /// line makes no progress this long is closed. Idle connections with
+    /// no pending partial line are never reaped.
+    pub idle_timeout_ms: u64,
+    /// Compact the WAL (checkpoint-and-truncate) at startup, before
+    /// replay — recovers disk from a journal grown across unclean
+    /// shutdowns. Clean shutdowns compact automatically.
+    pub wal_compact: bool,
+    /// This daemon's index into `shard_peers` when clustering.
+    pub shard_id: usize,
+    /// The full shard-cluster address list (self included, same order on
+    /// every shard). Fewer than two entries means no sharding.
+    pub shard_peers: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +116,11 @@ impl Default for ServerConfig {
             cache_max_entries: 256,
             journal: true,
             high_water: 0,
+            threaded: false,
+            idle_timeout_ms: 10_000,
+            wal_compact: false,
+            shard_id: 0,
+            shard_peers: Vec::new(),
         }
     }
 }
@@ -90,7 +128,9 @@ impl Default for ServerConfig {
 /// Shared service state, one instance per daemon.
 struct Shared {
     sched: Scheduler<JobOutput>,
-    cache: ArtifactCache,
+    /// The artifact cache behind its shard view (a transparent local
+    /// wrapper when the daemon is not clustered).
+    cache: ShardedCache,
     hists: StageHists,
     shutting_down: AtomicBool,
     local_addr: SocketAddr,
@@ -111,10 +151,15 @@ struct Shared {
     /// Connections accepted over the daemon's life (registry counter
     /// `server.connections`).
     connections_total: Arc<Counter>,
-    /// Live handler threads after the accept loop's last reap — the
-    /// gauge the boundedness test watches (registry gauge
-    /// `server.handlers_live`).
+    /// Live connections: handler threads in the threaded front end,
+    /// open reactor connections otherwise — the gauge the boundedness
+    /// test watches (registry gauge `server.handlers_live`).
     handlers_live: Arc<Gauge>,
+    /// Complete request lines drained per readiness event — >1 means
+    /// clients are pipelining (registry histogram
+    /// `server.pipelined_depth`; always present, samples only from the
+    /// reactor front end).
+    pipelined_depth: Arc<SharedHistogram>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -172,6 +217,10 @@ pub struct Server {
     replayed_pending: u64,
     /// Finished results restored from the journal at bind.
     restored_results: u64,
+    /// Forced thread-per-connection front end.
+    threaded: bool,
+    /// Reactor slow-loris timeout.
+    idle_timeout_ms: u64,
 }
 
 impl Server {
@@ -199,6 +248,24 @@ impl Server {
             config.job_threads
         };
         let journal_path = config.cache_dir.join(Server::JOURNAL_FILE);
+        if config.journal && config.wal_compact {
+            // Operator-requested startup compaction (a journal grown
+            // across unclean shutdowns). Failure is not fatal: the
+            // uncompacted journal still replays.
+            match compact_wal(&journal_path) {
+                Ok(stats) => preexec_obs::global().journal().note(
+                    "wal_compacted",
+                    &format!(
+                        "startup compaction: {} -> {} bytes, {} record(s) kept",
+                        stats.bytes_before, stats.bytes_after, stats.records_after
+                    ),
+                ),
+                Err(e) => preexec_obs::global().journal().note(
+                    "wal_compact_failed",
+                    &format!("startup compaction of {}: {e}", journal_path.display()),
+                ),
+            }
+        }
         let (journal, replay) = if config.journal {
             let replay = JournalReplay::read(&journal_path);
             if replay.corrupt_records > 0 {
@@ -219,9 +286,15 @@ impl Server {
             (None, None)
         };
         let registry = preexec_obs::global();
+        let local_cache = ArtifactCache::new(&config.cache_dir, config.cache_max_entries);
+        let cache = if config.shard_peers.len() > 1 {
+            ShardedCache::sharded(local_cache, config.shard_id, &config.shard_peers, registry)
+        } else {
+            ShardedCache::local_only(local_cache)
+        };
         let shared = Arc::new(Shared {
             sched: Scheduler::new(workers, config.queue_cap),
-            cache: ArtifactCache::new(&config.cache_dir, config.cache_max_entries),
+            cache,
             hists: StageHists::new(),
             shutting_down: AtomicBool::new(false),
             local_addr,
@@ -233,12 +306,22 @@ impl Server {
             restored: Mutex::new(HashMap::new()),
             connections_total: registry.counter("server.connections"),
             handlers_live: registry.gauge("server.handlers_live"),
+            // Interned at bind so the metrics surface always carries the
+            // series, samples or not.
+            pipelined_depth: registry.histogram("server.pipelined_depth"),
         });
         let (replayed_pending, restored_results) = match replay {
             Some(replay) => replay_journal(&shared, &replay),
             None => (0, 0),
         };
-        Ok(Server { listener, shared, replayed_pending, restored_results })
+        Ok(Server {
+            listener,
+            shared,
+            replayed_pending,
+            restored_results,
+            threaded: config.threaded,
+            idle_timeout_ms: config.idle_timeout_ms,
+        })
     }
 
     /// How many acked-but-unfinished jobs bind re-enqueued and how many
@@ -253,14 +336,44 @@ impl Server {
     }
 
     /// Serves until a `shutdown` command arrives, then drains the
-    /// scheduler and joins every handler. Blocks the calling thread for
-    /// the daemon's whole life.
+    /// scheduler, compacts the WAL, and returns. Blocks the calling
+    /// thread for the daemon's whole life. On Linux this runs the epoll
+    /// reactor unless `threaded` was set; elsewhere it always runs the
+    /// thread-per-connection loop.
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop socket errors (per-connection I/O errors
-    /// only end that connection).
+    /// Propagates listener/epoll errors (per-connection I/O errors only
+    /// end that connection).
     pub fn run(self) -> std::io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            if !self.threaded {
+                return self.run_reactor();
+            }
+        }
+        self.run_threaded()
+    }
+
+    /// The epoll front end: one thread, every connection, pipelined.
+    #[cfg(target_os = "linux")]
+    fn run_reactor(self) -> std::io::Result<()> {
+        let cfg = crate::reactor::ReactorConfig {
+            idle_timeout: Duration::from_millis(self.idle_timeout_ms.max(1)),
+            ..crate::reactor::ReactorConfig::default()
+        };
+        let mut handler = ReactorHandler { shared: Arc::clone(&self.shared), live: 0 };
+        crate::reactor::run(self.listener, &mut handler, &cfg)?;
+        // Graceful drain: finish queued + running jobs, then checkpoint
+        // the WAL down to its minimal replay-equivalent form.
+        self.shared.sched.shutdown();
+        compact_journal_on_exit(&self.shared);
+        Ok(())
+    }
+
+    /// The legacy thread-per-connection front end (non-Linux, and
+    /// `--threaded` everywhere).
+    fn run_threaded(self) -> std::io::Result<()> {
         let mut handlers = Vec::new();
         loop {
             let (stream, _) = self.listener.accept()?;
@@ -283,7 +396,79 @@ impl Server {
         for h in handlers {
             let _ = h.join();
         }
+        compact_journal_on_exit(&self.shared);
         Ok(())
+    }
+}
+
+/// Checkpoint-and-truncate the WAL after a clean drain: every job is
+/// terminal (or journaled pending via the shutdown record), so the
+/// journal boils down to submit + terminal pairs. Runs strictly after
+/// the scheduler drain — no appends race the rewrite. Failure degrades
+/// to an uncompacted (still replayable) journal.
+fn compact_journal_on_exit(shared: &Shared) {
+    let Some(j) = &shared.journal else { return };
+    match compact_wal(j.path()) {
+        Ok(stats) => preexec_obs::global().journal().note(
+            "wal_compacted",
+            &format!(
+                "shutdown compaction: {} -> {} bytes, {} record(s) kept",
+                stats.bytes_before, stats.bytes_after, stats.records_after
+            ),
+        ),
+        Err(e) => preexec_obs::global()
+            .journal()
+            .note("wal_compact_failed", &format!("{}: {e}", j.path().display())),
+    }
+}
+
+/// The reactor-side half of the server: protocol dispatch plus the
+/// connection-lifecycle accounting the threaded front end does inline.
+#[cfg(target_os = "linux")]
+struct ReactorHandler {
+    shared: Arc<Shared>,
+    /// Open connections (single-threaded: only the reactor touches it).
+    live: i64,
+}
+
+#[cfg(target_os = "linux")]
+impl crate::reactor::LineHandler for ReactorHandler {
+    fn handle_line(&mut self, line: &str) -> String {
+        dispatch(line, &self.shared).encode()
+    }
+
+    fn overlong_line_response(&mut self, limit: usize) -> String {
+        Json::obj(vec![
+            ("ok", Json::Bool(false)),
+            ("protocol_version", Json::num_u64(PROTOCOL_VERSION)),
+            (
+                "error",
+                Json::str(format!("request line exceeds {limit} bytes without a newline")),
+            ),
+            ("code", Json::str("line_too_long")),
+        ])
+        .encode()
+    }
+
+    fn record_pipelined_depth(&mut self, depth: u64) {
+        // The histogram's unit is "request lines per readiness event",
+        // not microseconds — the bucketing works the same.
+        self.shared.pipelined_depth.record_us(depth);
+    }
+
+    fn on_accept(&mut self) {
+        self.shared.connections_total.inc();
+        self.live += 1;
+        self.shared.handlers_live.set(self.live);
+    }
+
+    fn on_close(&mut self) {
+        self.live = (self.live - 1).max(0);
+        self.shared.handlers_live.set(self.live);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
     }
 }
 
@@ -408,11 +593,28 @@ fn restored_response(id: JobId, term: &TerminalRecord) -> Json {
     ok_response(fields)
 }
 
-/// Executes one request line and builds the response.
+/// Executes one request line and builds the response. The line is
+/// decoded exactly once; a present, non-null request `id` is echoed
+/// verbatim onto the response — the pipelining contract that lets a
+/// client write N requests before reading any response and still match
+/// responses to requests (order is also preserved per connection).
 fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
-    match parse_request(line) {
+    let json = match Json::parse(line) {
+        Ok(json) => json,
+        Err(e) => return error_response(&ProtoError::BadJson(e.to_string())),
+    };
+    let id = request_id(&json);
+    let resp = match parse_request_json(&json) {
         Err(e) => error_response(&e),
-        Ok(Request::Submit(spec)) => {
+        Ok(req) => dispatch_request(req, shared),
+    };
+    with_request_id(resp, id)
+}
+
+/// Executes one parsed request.
+fn dispatch_request(req: Request, shared: &Arc<Shared>) -> Json {
+    match req {
+        Request::Submit(spec) => {
             if shared.shutting_down.load(Ordering::SeqCst) {
                 return error_response(&ProtoError::from(SubmitError::ShuttingDown));
             }
@@ -447,7 +649,7 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                 Err(e) => error_response(&ProtoError::from(e)),
             }
         }
-        Ok(Request::Cancel(id)) => {
+        Request::Cancel(id) => {
             match shared.sched.cancel_queued(id, PipelineError::Cancelled { stage: "queued" }) {
                 CancelOutcome::Dequeued => {
                     if let Some(j) = &shared.journal {
@@ -488,7 +690,7 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                 },
             }
         }
-        Ok(Request::Status(id)) => match shared.sched.state(id) {
+        Request::Status(id) => match shared.sched.state(id) {
             None => match lock(&shared.restored).get(&id) {
                 Some(term) => restored_response(id, term),
                 None => error_response(&ProtoError::UnknownJob(id)),
@@ -512,7 +714,7 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                 ok_response(fields)
             }
         },
-        Ok(Request::Result(id)) => match shared.sched.completion(id) {
+        Request::Result(id) => match shared.sched.completion(id) {
             None => match shared.sched.state(id) {
                 None => match lock(&shared.restored).get(&id) {
                     Some(term) => restored_response(id, term),
@@ -553,9 +755,9 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                 }
             }
         },
-        Ok(Request::Stats) => stats_response(shared),
-        Ok(Request::Metrics) => metrics_response(),
-        Ok(Request::Shutdown) => {
+        Request::Stats => stats_response(shared),
+        Request::Metrics => metrics_response(),
+        Request::Shutdown => {
             // Journal what is still pending *before* acking, then count
             // it in the response: nothing queued is silently lost — the
             // drain finishes every job below, and should the process die
@@ -574,12 +776,105 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                 ("running_jobs", Json::num_u64(running.len() as u64)),
             ])
         }
+        Request::SubmitBatch(specs) => {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return error_response(&ProtoError::from(SubmitError::ShuttingDown));
+            }
+            // One admission decision for the whole batch: either every
+            // job fits under the high-water mark or the lot sheds with a
+            // single typed `overloaded` + `retry_after_ms` (DESIGN.md
+            // §15.2) — a batch cannot jump the soft wall by splitting
+            // its head under the line.
+            let stats = shared.sched.stats();
+            if let Err(over) = shared.admission.admit_batch(stats.queued, stats.running, specs.len())
+            {
+                return error_response(&ProtoError::Overloaded(over));
+            }
+            let journaled: Vec<Json> = specs.iter().map(spec_json).collect();
+            let mut tokens = Vec::with_capacity(specs.len());
+            let mut jobs = Vec::with_capacity(specs.len());
+            for spec in specs {
+                let token = Arc::new(CancelToken::new(spec.deadline_ms));
+                tokens.push(Arc::clone(&token));
+                jobs.push(shared.job_fn(spec, token));
+            }
+            match shared.sched.submit_batch(jobs) {
+                Ok(ids) => {
+                    for ((&id, token), spec) in ids.iter().zip(tokens).zip(&journaled) {
+                        lock(&shared.tokens).insert(id, token);
+                        if shared.sched.state(id).is_some_and(JobState::is_terminal) {
+                            lock(&shared.tokens).remove(&id);
+                        }
+                        // Journal before the ack reaches the wire — same
+                        // durability contract as single submit.
+                        if let Some(j) = &shared.journal {
+                            j.submit(id, spec);
+                        }
+                    }
+                    ok_response(vec![(
+                        "jobs",
+                        Json::Arr(ids.iter().map(|&id| Json::num_u64(id)).collect()),
+                    )])
+                }
+                Err(e) => error_response(&ProtoError::from(e)),
+            }
+        }
+        Request::CacheGet(key) => {
+            // Peer artifact fetch: answered strictly from the *local*
+            // cache — never forwarded — so shard lookups cannot recurse.
+            match shared.cache.local().load_raw(key) {
+                Some((slices, stats)) => ok_response(vec![
+                    ("hit", Json::Bool(true)),
+                    ("slices", Json::str(slices)),
+                    ("stats", Json::str(stats)),
+                ]),
+                None => ok_response(vec![("hit", Json::Bool(false))]),
+            }
+        }
+        Request::CachePut { key, slices, stats } => {
+            match shared.cache.local().store_raw(key, &slices, &stats) {
+                Ok(()) => ok_response(vec![("stored", Json::Bool(true))]),
+                // A malformed payload is the *sender's* bug: reject it
+                // typed so the peer counts it and recomputes locally.
+                Err(RawStoreError::Invalid(why)) => {
+                    error_response(&ProtoError::ShardPayload(why))
+                }
+                // Local disk trouble is ours: the request was well-formed,
+                // so answer ok but unstored — the peer keeps its copy.
+                Err(RawStoreError::Io(e)) => {
+                    preexec_obs::global()
+                        .journal()
+                        .note("shard_store_failed", &format!("key {key:016x}: {e}"));
+                    ok_response(vec![("stored", Json::Bool(false))])
+                }
+            }
+        }
     }
+}
+
+/// The `shard` section of the `stats` report: peer-traffic counters plus
+/// (when sharded) this daemon's position in the ring.
+fn shard_stats_json(shared: &Shared) -> Json {
+    let peer = shared.cache.peer_stats();
+    let mut fields = vec![
+        ("peer_hits", Json::num_u64(peer.peer_hits)),
+        ("peer_misses", Json::num_u64(peer.peer_misses)),
+        ("peer_errors", Json::num_u64(peer.peer_errors)),
+        ("peer_puts", Json::num_u64(peer.peer_puts)),
+    ];
+    match shared.cache.shard_info() {
+        Some((self_index, shards)) => {
+            fields.push(("self", Json::num_u64(self_index as u64)));
+            fields.push(("shards", Json::num_u64(shards as u64)));
+        }
+        None => fields.push(("shards", Json::num_u64(1))),
+    }
+    Json::obj(fields)
 }
 
 fn stats_response(shared: &Shared) -> Json {
     let sched = shared.sched.stats();
-    let cache = shared.cache.stats();
+    let cache = shared.cache.local().stats();
     ok_response(vec![
         ("queue_depth", Json::num_u64(sched.queued as u64)),
         ("queue_cap", Json::num_u64(shared.queue_cap as u64)),
@@ -623,6 +918,7 @@ fn stats_response(shared: &Shared) -> Json {
                 ("hit_rate", Json::Num(cache.hit_rate())),
             ]),
         ),
+        ("shard", shard_stats_json(shared)),
         ("stage_latency_us", shared.hists.to_json()),
         ("job_threads", Json::num_u64(shared.job_threads as u64)),
         ("parallel", shared.hists.par.to_json()),

@@ -1,0 +1,95 @@
+//! Property tests for the consistent-hash shard ring (DESIGN.md §15.3):
+//! ownership is total and deterministic, load spreads within a constant
+//! factor of fair, and membership changes reroute only the ~1/N of keys
+//! they must — the property that makes shard joins cheap (only the new
+//! shard's keys go cold) and shard leaves safe (survivors keep every
+//! key they already owned).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use preexec_serve::{HashRing, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every key has exactly one owner, always below the shard count,
+    /// and asking twice gives the same answer.
+    #[test]
+    fn ownership_is_total_deterministic_and_in_range(
+        shards in 1usize..6,
+        vnodes in 1usize..96,
+        key in any::<u64>(),
+    ) {
+        let ring = HashRing::new(shards, vnodes);
+        let owner = ring.owner(key);
+        prop_assert!(owner < ring.shards());
+        prop_assert_eq!(owner, ring.owner(key));
+    }
+
+    /// With the default vnode count no shard is starved or flooded: each
+    /// shard's share of a large key set stays within 3x of fair. (The
+    /// ring's arcs are deterministic per shard count; the keys vary.)
+    #[test]
+    fn load_spreads_within_a_constant_factor_of_fair(
+        shards in 2usize..6,
+        keys in prop::collection::vec(any::<u64>(), 2048..2049),
+    ) {
+        let ring = HashRing::new(shards, DEFAULT_VNODES);
+        let mut counts = vec![0usize; shards];
+        for &k in &keys {
+            counts[ring.owner(k)] += 1;
+        }
+        let fair = keys.len() / shards;
+        for (shard, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                c >= fair / 3 && c <= fair * 3,
+                "shard {} owns {} of {} keys (fair share {})",
+                shard, c, keys.len(), fair
+            );
+        }
+    }
+
+    /// A join is minimal: a key either keeps its owner or moves to the
+    /// *joined* shard — never between survivors — and the moved fraction
+    /// is about 1/(N+1), the new shard's fair share.
+    #[test]
+    fn a_join_reroutes_only_the_new_shards_fair_share(
+        shards in 1usize..5,
+        keys in prop::collection::vec(any::<u64>(), 2048..2049),
+    ) {
+        let before = HashRing::new(shards, DEFAULT_VNODES);
+        let after = HashRing::new(shards + 1, DEFAULT_VNODES);
+        let mut moved = 0usize;
+        for &k in &keys {
+            let (b, a) = (before.owner(k), after.owner(k));
+            if b != a {
+                prop_assert_eq!(a, shards, "key {:#x} moved between surviving shards", k);
+                moved += 1;
+            }
+        }
+        let fair = keys.len() / (shards + 1);
+        prop_assert!(
+            moved >= fair / 4 && moved <= fair * 3,
+            "{} of {} keys moved on a {}->{} join (fair share {})",
+            moved, keys.len(), shards, shards + 1, fair
+        );
+    }
+
+    /// The mirror image for a leave: every key the leaver did *not* own
+    /// keeps its owner, so survivors' caches stay warm.
+    #[test]
+    fn a_leave_never_disturbs_surviving_shards_keys(
+        shards in 2usize..6,
+        keys in prop::collection::vec(any::<u64>(), 1024..1025),
+    ) {
+        let before = HashRing::new(shards, DEFAULT_VNODES);
+        let after = HashRing::new(shards - 1, DEFAULT_VNODES);
+        for &k in &keys {
+            let b = before.owner(k);
+            if b != shards - 1 {
+                prop_assert_eq!(after.owner(k), b, "surviving key {:#x} was rerouted", k);
+            }
+        }
+    }
+}

@@ -6,7 +6,10 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use std::process::Command;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
 
 fn run_toolflow_in(dir: &std::path::Path, args: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_toolflow"))
@@ -52,5 +55,67 @@ fn one_failed_job_fails_the_whole_run_without_masking_sibling_output() {
     assert_eq!(parallel.status.code(), Some(0), "{parallel:?}");
     assert_eq!(serial.stdout, parallel.stdout, "--jobs changed stdout");
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_mode_exits_with_the_first_failing_jobs_code_and_keeps_sibling_output() {
+    let dir = temp_dir("daemon");
+    // A daemon whose *first started* job panics on its worker: with one
+    // worker, batch order is start order, so `vpr.r` is the victim and
+    // `mcf` must still be served.
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_preexecd"))
+        .current_dir(&dir)
+        .env("PREEXEC_CHAOS", "panic_job=1")
+        .args(["--port", "0", "--workers", "1", "--no-journal", "--cache-dir", "cache"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawning preexecd");
+    let stdout = daemon.stdout.take().expect("piped stdout");
+    let mut announce = String::new();
+    BufReader::new(stdout).read_line(&mut announce).expect("announce line");
+    let addr = announce
+        .trim()
+        .strip_prefix("preexecd listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {announce:?}"))
+        .to_string();
+
+    let out = run_toolflow_in(&dir, &["--daemon", &addr, "vpr.r,mcf", "3000"]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    // The panicked job maps to code 5 — the same code a local panic
+    // exits with — and it is the *first* job, so it wins.
+    assert_eq!(out.status.code(), Some(5), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(
+        stderr.contains("vpr.r") && stderr.contains("job_panicked"),
+        "failing job's diagnostic missing:\n{stderr}"
+    );
+    // The sibling's report still prints, in submission order.
+    assert!(stdout.contains("mcf: daemon job"), "sibling output missing:\n{stdout}");
+    assert!(!stdout.contains("vpr.r: daemon job"), "failed job reported success:\n{stdout}");
+
+    // The chaos injector targets only start index 1; a rerun against the
+    // same daemon is healthy and exits 0 with both reports.
+    let out = run_toolflow_in(&dir, &["--daemon", &addr, "vpr.r,mcf", "3000"]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert_eq!(out.status.code(), Some(0), "healthy rerun failed:\n{stdout}");
+    assert!(stdout.contains("vpr.r: daemon job") && stdout.contains("mcf: daemon job"));
+
+    let mut conn = TcpStream::connect(&addr).expect("connect for shutdown");
+    conn.write_all(b"{\"cmd\":\"shutdown\"}\n").expect("send shutdown");
+    let mut ack = String::new();
+    let _ = BufReader::new(conn).read_line(&mut ack);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match daemon.try_wait().expect("try_wait") {
+            Some(_) => break,
+            None if Instant::now() > deadline => {
+                let _ = daemon.kill();
+                panic!("preexecd did not exit after shutdown");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
