@@ -12,21 +12,29 @@
 //!   peak-memory proxy in instruction records (the full trace length the
 //!   batch path conceptually materializes versus the streaming path's
 //!   measured `stream.peak_window_insts` high-water mark), the transport
-//!   counters, and the same `obs` section.
+//!   counters, and the same `obs` section;
+//! - `BENCH_score.json`: the two-tier scoring comparison — exact
+//!   (screening off) versus screened selection over the same forest,
+//!   best-of-5 wall clock of the `stage.score`/`stage.screen` spans from
+//!   the obs registry, the screen's pruned/survivor counters, and the
+//!   screened-vs-exact bit-identity verdict.
 //!
 //! All legs are compared for bit-identity, so every benchmark run
-//! doubles as a determinism check (DESIGN.md §11) covering both the
-//! thread axis and the batch/streaming axis.
+//! doubles as a determinism check (DESIGN.md §11) covering the thread
+//! axis, the batch/streaming axis, and the screening axis (§16).
 //!
 //! Usage: `pipeline-bench [--workload NAME] [--budget B] [--threads N]
-//!         [--out PATH] [--stream-out PATH]`
+//!         [--out PATH] [--stream-out PATH] [--score-out PATH] [--check]`
 //!
 //! Defaults: `vpr.r`, 60 000 instructions, one thread per core,
-//! `BENCH_pipeline.json`, `BENCH_stream.json`. Exit codes: 0 success, 2
-//! usage error, 1 pipeline or I/O failure (including any leg mismatch,
-//! which would mean a determinism bug).
+//! `BENCH_pipeline.json`, `BENCH_stream.json`, `BENCH_score.json`. Exit
+//! codes: 0 success, 2 usage error — or, under `--check`, a screened
+//! score stage slower than the exact one (a screening perf regression) —
+//! and 1 pipeline or I/O failure (including any leg mismatch, which
+//! would mean a determinism bug).
 
 use preexec_bench::build;
+use preexec_core::{try_select_pthreads_stats, ScreenStats, Selection, SelectionParams};
 use preexec_experiments::{ParStats, Parallelism, Pipeline, PipelineConfig};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -38,6 +46,8 @@ struct Args {
     threads: usize,
     out: String,
     stream_out: String,
+    score_out: String,
+    check: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -48,6 +58,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             .map_or(1, std::num::NonZeroUsize::get),
         out: "BENCH_pipeline.json".to_string(),
         stream_out: "BENCH_stream.json".to_string(),
+        score_out: "BENCH_score.json".to_string(),
+        check: false,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -70,6 +82,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--out" => args.out = value("--out")?,
             "--stream-out" => args.stream_out = value("--stream-out")?,
+            "--score-out" => args.score_out = value("--score-out")?,
+            "--check" => args.check = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -103,6 +117,54 @@ fn par_stats_json(out: &mut String, s: &ParStats) {
         s.items,
         s.speedup()
     );
+}
+
+/// Sum of one obs latency histogram's recorded microseconds (0 when the
+/// span never fired). Snapshot deltas around a leg isolate that leg's
+/// contribution to the cumulative registry.
+fn hist_sum_us(name: &str) -> u64 {
+    let snap = preexec_obs::global().snapshot();
+    snap.histograms.iter().find(|(n, _)| n == name).map_or(0, |(_, h)| h.sum_us())
+}
+
+/// One timed selection leg for the two-tier scoring comparison: the
+/// `stage.score` + `stage.screen` wall clock (obs-snapshot delta,
+/// best-of-5), the selection itself for the bit-identity check, and the
+/// screen's candidate counters.
+struct ScoreLeg {
+    total_us: u64,
+    score_us: u64,
+    screen_us: u64,
+    selection: Selection,
+    screen: ScreenStats,
+}
+
+fn score_leg(
+    forest: &preexec_slice::SliceForest,
+    params: &SelectionParams,
+    screening: bool,
+) -> Result<ScoreLeg, String> {
+    let mut best: Option<ScoreLeg> = None;
+    for _ in 0..5 {
+        let score0 = hist_sum_us("stage.score");
+        let screen0 = hist_sum_us("stage.screen");
+        let (selection, _, screen) =
+            try_select_pthreads_stats(forest, params, Parallelism::serial(), screening)
+                .map_err(|e| format!("score leg (screening={screening}): {e}"))?;
+        let score_us = hist_sum_us("stage.score") - score0;
+        let screen_us = hist_sum_us("stage.screen") - screen0;
+        let leg = ScoreLeg {
+            total_us: score_us + screen_us,
+            score_us,
+            screen_us,
+            selection,
+            screen,
+        };
+        if best.as_ref().is_none_or(|b| leg.total_us < b.total_us) {
+            best = Some(leg);
+        }
+    }
+    best.ok_or_else(|| "score leg ran no iterations".to_string())
 }
 
 /// Appends the global metrics registry's view of the run: every
@@ -146,7 +208,7 @@ fn obs_json(out: &mut String) {
     out.push_str("}}");
 }
 
-fn run(args: &Args) -> Result<(), String> {
+fn run(args: &Args) -> Result<u8, String> {
     let program = build(&args.workload);
     let cfg = PipelineConfig::paper_default(args.budget);
     let par = Parallelism::new(args.threads);
@@ -291,6 +353,48 @@ fn run(args: &Args) -> Result<(), String> {
     std::fs::write(&args.stream_out, &sjson)
         .map_err(|e| format!("writing {}: {e}", args.stream_out))?;
 
+    // The two-tier scoring leg: exact (screening off) versus screened
+    // selection over the same forest, under the parameters the pipeline
+    // itself derived (measured base IPC, clamped the way `select_stage`
+    // clamps it). Serial on both sides so the comparison is pure
+    // scoring work, not thread scheduling.
+    let params = SelectionParams {
+        ipc: out_serial.result.base.ipc().clamp(0.05, SelectionParams::default().bw_seq),
+        ..SelectionParams::default()
+    };
+    let exact = score_leg(&out_serial.forest, &params, false)?;
+    let screened = score_leg(&out_serial.forest, &params, true)?;
+    // Exactness is a hard contract, not a perf preference: a divergence
+    // is a correctness bug and fails the run outright (exit 1).
+    if format!("{:?}", exact.selection) != format!("{:?}", screened.selection) {
+        return Err("screened selection differs from exact selection".to_string());
+    }
+    let score_speedup = if screened.total_us == 0 {
+        1.0
+    } else {
+        exact.total_us as f64 / screened.total_us as f64
+    };
+    let mut cjson = String::new();
+    let _ = write!(
+        cjson,
+        r#"{{"workload":"{}","budget":{},"screen":{{"pruned":{},"survivors":{},"candidates":{}}},"score_us":{{"exact":{},"screened":{},"screened_score":{},"screened_screen":{}}},"speedup":{:.3},"identical":true,"obs":"#,
+        args.workload,
+        args.budget,
+        screened.screen.pruned,
+        screened.screen.survivors,
+        screened.screen.candidates(),
+        exact.score_us,
+        screened.total_us,
+        screened.score_us,
+        screened.screen_us,
+        score_speedup,
+    );
+    obs_json(&mut cjson);
+    cjson.push('}');
+    cjson.push('\n');
+    std::fs::write(&args.score_out, &cjson)
+        .map_err(|e| format!("writing {}: {e}", args.score_out))?;
+
     eprintln!(
         "pipeline-bench: {} @ {} insts, {} threads: slice {:.2}x, select {:.2}x, combined {:.2}x -> {}; stream peak {} vs batch {} insts -> {}",
         args.workload,
@@ -304,7 +408,28 @@ fn run(args: &Args) -> Result<(), String> {
         stats.total_steps,
         args.stream_out
     );
-    Ok(())
+    eprintln!(
+        "pipeline-bench: score stage: exact {} us vs screened {} us ({} + {} screen, {:.2}x, {} of {} candidates pruned) -> {}",
+        exact.score_us,
+        screened.total_us,
+        screened.score_us,
+        screened.screen_us,
+        score_speedup,
+        screened.screen.pruned,
+        screened.screen.candidates(),
+        args.score_out
+    );
+    // `--check`: the screening perf gate. Screened scoring doing *more*
+    // work than exact scoring means the screen's savings no longer cover
+    // its own cost — a perf regression worth failing CI over.
+    if args.check && screened.total_us > exact.score_us {
+        eprintln!(
+            "pipeline-bench: --check failed: screened score stage ({} us) slower than exact ({} us)",
+            screened.total_us, exact.score_us
+        );
+        return Ok(2);
+    }
+    Ok(0)
 }
 
 fn main() -> ExitCode {
@@ -317,7 +442,7 @@ fn main() -> ExitCode {
         }
     };
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(msg) => {
             eprintln!("pipeline-bench: {msg}");
             ExitCode::FAILURE

@@ -51,9 +51,64 @@ impl fmt::Display for ParamsError {
 
 impl Error for ParamsError {}
 
+/// A fault from the selection driver
+/// ([`try_select_pthreads_stats`](crate::select::try_select_pthreads_stats)):
+/// either the parameters were rejected up front or a candidate's score
+/// came out non-finite mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectError {
+    /// The selection parameters failed validation.
+    Params(ParamsError),
+    /// A candidate's aggregate advantage evaluated to NaN or ±∞ (see
+    /// [`preexec_slice::SliceError::NonFiniteScore`]).
+    Score(preexec_slice::SliceError),
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Delegate verbatim: the panicking wrappers surface these
+            // messages and must match the historical `validate()` text.
+            SelectError::Params(e) => e.fmt(f),
+            SelectError::Score(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for SelectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SelectError::Params(e) => Some(e),
+            SelectError::Score(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParamsError> for SelectError {
+    fn from(e: ParamsError) -> SelectError {
+        SelectError::Params(e)
+    }
+}
+
+impl From<preexec_slice::SliceError> for SelectError {
+    fn from(e: preexec_slice::SliceError) -> SelectError {
+        SelectError::Score(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn select_error_wraps_both_layers() {
+        let e: SelectError = ParamsError::ZeroMaxPthreadLen.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("max_pthread_len"));
+        let e: SelectError = preexec_slice::SliceError::NonFiniteScore { pc: 7, node: 3 }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("non-finite"));
+    }
 
     #[test]
     fn display_names_the_field() {

@@ -60,12 +60,13 @@ pub mod params;
 pub mod predict;
 pub mod pthread;
 pub mod scdh;
+pub mod screen;
 pub mod select;
 
 pub use advantage::{aggregate_advantage, Advantage};
 pub use body::{Body, BodyInst};
 pub use candidate::candidate_body;
-pub use error::ParamsError;
+pub use error::{ParamsError, SelectError};
 pub use merge::merge_pthreads;
 pub use optimize::optimize_body;
 pub use par::{ParStats, Parallelism};
@@ -73,8 +74,10 @@ pub use params::SelectionParams;
 pub use predict::SelectionPrediction;
 pub use pthread::StaticPThread;
 pub use scdh::scdh;
+pub use screen::{advantage_upper_bounds, screen_tree, ScreenStats};
 pub use select::{
-    select_pthreads, select_pthreads_par, select_pthreads_stats, solve_tree, Selection,
+    select_pthreads, select_pthreads_par, select_pthreads_stats, solve_tree,
+    try_select_pthreads_stats, validate_candidate_score, Selection,
 };
 
 #[cfg(test)]

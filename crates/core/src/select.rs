@@ -2,13 +2,15 @@
 //! correction (§3.2), plus the forest-level driver.
 
 use crate::advantage::aggregate_advantage;
+use crate::error::SelectError;
 use crate::par::{self, ParStats, Parallelism};
+use crate::screen::{self, ScreenStats};
 use crate::{
     candidate_body, merge_pthreads, optimize_body, Advantage, Body, SelectionParams,
     SelectionPrediction, StaticPThread,
 };
 use preexec_isa::Pc;
-use preexec_slice::{NodeId, SliceForest, SliceTree};
+use preexec_slice::{NodeId, SliceError, SliceForest, SliceTree};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A scored candidate: its advantage calculation and the body the p-thread
@@ -61,6 +63,26 @@ fn score_node(
     Some(ScoredCandidate { advantage, exec_body })
 }
 
+/// Rejects a candidate whose aggregate advantage evaluated to NaN or ±∞:
+/// a non-finite score fed into the net-advantage folds and the
+/// `(adv_agg, node id)` tie-break would silently poison the ordering, so
+/// the driver refuses it up front with a typed error naming the trigger.
+///
+/// # Errors
+///
+/// [`SliceError::NonFiniteScore`] when `adv_agg` is not finite.
+pub fn validate_candidate_score(
+    sc: &ScoredCandidate,
+    pc: Pc,
+    node: NodeId,
+) -> Result<(), SliceError> {
+    if sc.advantage.adv_agg.is_finite() {
+        Ok(())
+    } else {
+        Err(SliceError::NonFiniteScore { pc, node })
+    }
+}
+
 /// Scores every candidate node of `tree` into a dense table indexed by
 /// [`NodeId`] (`table[0]`, the root, is always `None` — the root is the
 /// problem load itself, not a trigger).
@@ -79,6 +101,28 @@ pub fn score_tree_nodes(
         *slot = score_node(tree, node, dc_trig_of(tree.node(node).pc), params);
     }
     table
+}
+
+/// [`score_tree_nodes`] behind the static screen: candidates whose
+/// advantage upper bound cannot beat the null candidate (or that are
+/// statically illegal) are pruned without ever building a body or
+/// running SCDH; only survivors get the exact score. The table is
+/// interchangeable with the unscreened one for selection — pruned slots
+/// hold `None`, and a `None` (or `ADV_agg ≤ 0`) candidate is never
+/// selected (see [`crate::screen`] and DESIGN.md §16).
+pub fn score_tree_nodes_screened(
+    tree: &SliceTree,
+    dc_trig_of: &dyn Fn(Pc) -> u64,
+    params: &SelectionParams,
+) -> (Vec<Option<ScoredCandidate>>, ScreenStats) {
+    let (keep, stats) = screen::screen_tree(tree, dc_trig_of, params);
+    let mut table: Vec<Option<ScoredCandidate>> = vec![None; tree.len()];
+    for (node, slot) in table.iter_mut().enumerate().skip(1) {
+        if keep[node] {
+            *slot = score_node(tree, node, dc_trig_of(tree.node(node).pc), params);
+        }
+    }
+    (table, stats)
 }
 
 /// Solves one slice tree: selects the set of p-threads whose
@@ -129,9 +173,14 @@ pub fn solve_tree_scored(
                     // LT at L_cm, and the deeper trigger buys lookahead
                     // slack at no modeled cost (cf. the paper's observation
                     // that over-specifying latency compensates for
-                    // unmodeled bus contention).
+                    // unmodeled bus contention). `total_cmp` keeps the
+                    // order total even if a caller-supplied score table
+                    // smuggles in a NaN: a poisoned comparison can then
+                    // never un-pick an already-chosen winner.
                     if net > 0.0
-                        && best.is_none_or(|(bn, b)| (net, node) >= (b, bn))
+                        && best.is_none_or(|(bn, b)| {
+                            net.total_cmp(&b).then_with(|| node.cmp(&bn)).is_ge()
+                        })
                     {
                         best = Some((node, net));
                     }
@@ -241,33 +290,102 @@ pub fn select_pthreads_par(
 /// [`select_pthreads_par`] plus utilization counters for the two parallel
 /// stages (scoring + per-tree solving), for the service's speedup gauges.
 ///
+/// Scoring runs behind the static screen (see [`crate::screen`]); use
+/// [`try_select_pthreads_stats`] to disable screening or to handle
+/// faults as typed errors.
+///
 /// # Panics
 ///
-/// Panics if `params` fail validation.
+/// Panics if `params` fail validation or a candidate scores non-finite.
 pub fn select_pthreads_stats(
     forest: &SliceForest,
     params: &SelectionParams,
     par: Parallelism,
 ) -> (Selection, ParStats) {
-    params.validate();
+    match try_select_pthreads_stats(forest, params, par, true) {
+        Ok((selection, pstats, _)) => (selection, pstats),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The fallible, fully-knobbed selection driver: everything
+/// [`select_pthreads_stats`] does, with screening switchable and faults
+/// surfaced as typed errors instead of panics.
+///
+/// With `screening` on (the production default), a cheap per-tree pass
+/// bounds every candidate's `ADV_agg` from block-level aggregates and
+/// only survivors reach the exact ADVagg/SCDH scorer; the returned
+/// [`ScreenStats`] counts both buckets, and the selection is
+/// **byte-identical** to the unscreened run at any thread count — the
+/// exactness contract of DESIGN.md §16, pinned by the screening property
+/// tests. With `screening` off the stats are zero.
+///
+/// # Errors
+///
+/// [`SelectError::Params`] if `params` fail validation;
+/// [`SelectError::Score`] (wrapping
+/// [`SliceError::NonFiniteScore`]) if a surviving candidate's aggregate
+/// advantage evaluates to NaN or ±∞ — degenerate slice statistics that
+/// would otherwise silently poison the selection ordering.
+pub fn try_select_pthreads_stats(
+    forest: &SliceForest,
+    params: &SelectionParams,
+    par: Parallelism,
+    screening: bool,
+) -> Result<(Selection, ParStats, ScreenStats), SelectError> {
+    params.try_validate()?;
     let obs = preexec_obs::global();
     let trees: Vec<(Pc, &SliceTree)> = forest.trees().collect();
 
-    // Stage 1 — score every candidate. The fan-out is flat over
-    // (tree, node) pairs rather than over trees so one huge tree cannot
-    // serialize the stage.
+    // Stage 0 — static screening (optional): one O(tree) fold per tree
+    // bounds every candidate from block-level aggregates; the keep-mask
+    // thins the exact-scoring fan-out below without changing its output.
+    let mut screen_stats = ScreenStats::default();
+    let mut pstats = ParStats::default();
+    let keep: Option<Vec<Vec<bool>>> = if screening {
+        let tree_indices: Vec<usize> = (0..trees.len()).collect();
+        let screen_span = obs.span("stage.screen");
+        let (masks, screen_par) = par::map_stats(par, &tree_indices, |&ti| {
+            screen::screen_tree(trees[ti].1, &|pc| forest.dc_trig(pc), params)
+        });
+        screen_span.finish();
+        pstats.absorb(&screen_par);
+        let mut keep = Vec::with_capacity(masks.len());
+        for (mask, stats) in masks {
+            screen_stats.absorb(&stats);
+            keep.push(mask);
+        }
+        obs.counter("screen.pruned").add(screen_stats.pruned);
+        obs.counter("screen.survivors").add(screen_stats.survivors);
+        Some(keep)
+    } else {
+        None
+    };
+
+    // Stage 1 — exactly score the surviving candidates. The fan-out is
+    // flat over (tree, node) pairs rather than over trees so one huge
+    // tree cannot serialize the stage. `select.candidates` counts every
+    // enumerated candidate whether or not the screen admitted it.
+    let total_candidates: u64 = trees.iter().map(|(_, tree)| tree.len() as u64 - 1).sum();
+    obs.counter("select.candidates").add(total_candidates);
     let score_items: Vec<(usize, NodeId)> = trees
         .iter()
         .enumerate()
         .flat_map(|(ti, (_, tree))| (1..tree.len()).map(move |node| (ti, node)))
+        .filter(|&(ti, node)| keep.as_ref().is_none_or(|k| k[ti][node]))
         .collect();
-    obs.counter("select.candidates").add(score_items.len() as u64);
     let score_span = obs.span("stage.score");
-    let (flat_scores, mut pstats) = par::map_stats(par, &score_items, |&(ti, node)| {
+    let (flat_scores, score_par) = par::map_stats(par, &score_items, |&(ti, node)| {
         let (_, tree) = trees[ti];
         score_node(tree, node, forest.dc_trig(tree.node(node).pc), params)
     });
     score_span.finish();
+    pstats.absorb(&score_par);
+    for (&(ti, node), sc) in score_items.iter().zip(&flat_scores) {
+        if let Some(sc) = sc {
+            validate_candidate_score(sc, trees[ti].1.node(node).pc, node)?;
+        }
+    }
     let mut scores: Vec<Vec<Option<ScoredCandidate>>> =
         trees.iter().map(|(_, tree)| vec![None; tree.len()]).collect();
     for ((ti, node), sc) in score_items.into_iter().zip(flat_scores) {
@@ -368,7 +486,7 @@ pub fn select_pthreads_stats(
         adv_agg,
         bw_seq: params.bw_seq,
     };
-    (Selection { pthreads, prediction }, pstats)
+    Ok((Selection { pthreads, prediction }, pstats, screen_stats))
 }
 
 #[cfg(test)]
@@ -500,19 +618,19 @@ mod tests {
         let p = assemble("chain", "ld r4, 0(r1)\n addi r1, r1, 64\n halt").unwrap();
         let mut slice = vec![SliceEntry {
             pc: 0,
-            inst: p.inst(0).clone(),
+            inst: *p.inst(0),
             dist: 0,
             dep_positions: vec![1],
         }];
         for d in 1..=depth {
             slice.push(SliceEntry {
                 pc: 1,
-                inst: p.inst(1).clone(),
+                inst: *p.inst(1),
                 dist: d as u64,
                 dep_positions: if d < depth { vec![d as u32 + 1] } else { vec![] },
             });
         }
-        let mut tree = SliceTree::new(0, p.inst(0).clone());
+        let mut tree = SliceTree::new(0, *p.inst(0));
         tree.insert_slice(&slice);
         tree
     }
@@ -581,6 +699,84 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn screened_selection_is_byte_identical_to_unscreened() {
+        let forest = forest_for(STREAM);
+        let total: u64 = forest.trees().map(|(_, t)| t.len() as u64 - 1).sum();
+        for params in [
+            SelectionParams { ipc: 2.0, ..SelectionParams::default() },
+            SelectionParams { ipc: 2.0, optimize: false, merge: false, ..SelectionParams::default() },
+            SelectionParams { ipc: 0.5, miss_latency: 78.0, ..SelectionParams::default() },
+        ] {
+            for threads in [1, 4] {
+                let par = Parallelism::new(threads);
+                let (screened, _, stats) =
+                    try_select_pthreads_stats(&forest, &params, par, true).unwrap();
+                let (exact, _, off) =
+                    try_select_pthreads_stats(&forest, &params, par, false).unwrap();
+                assert_eq!(
+                    format!("{screened:?}"),
+                    format!("{exact:?}"),
+                    "threads={threads}"
+                );
+                assert_eq!(stats.candidates(), total);
+                assert_eq!(off, ScreenStats::default());
+            }
+        }
+    }
+
+    #[test]
+    fn screened_score_table_solves_identically() {
+        let forest = forest_for(STREAM);
+        let params = SelectionParams { ipc: 2.0, ..SelectionParams::default() };
+        for (_, tree) in forest.trees() {
+            let dc = |pc| forest.dc_trig(pc);
+            let exact = score_tree_nodes(tree, &dc, &params);
+            let (screened, stats) = score_tree_nodes_screened(tree, &dc, &params);
+            assert_eq!(stats.candidates() as usize, tree.len() - 1);
+            let a = solve_tree_scored(tree, &exact);
+            let b = solve_tree_scored(tree, &screened);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn nan_scores_never_win_the_tie_break() {
+        // A NaN net advantage fails the `net > 0` gate, and total_cmp
+        // keeps the order total even against a poisoned incumbent, so
+        // the finite candidate always wins deterministically.
+        let tree = chain_tree(2);
+        let mut scores: Vec<Option<ScoredCandidate>> = vec![None; tree.len()];
+        scores[1] = Some(candidate_with_advantage(&tree, 1, 100.0));
+        scores[2] = Some(candidate_with_advantage(&tree, 2, f64::NAN));
+        let picks = solve_tree_scored(&tree, &scores);
+        assert_eq!(picks.len(), 1);
+        assert_eq!(picks[0].0, 1, "the finite candidate must win");
+    }
+
+    #[test]
+    fn non_finite_scores_are_rejected_with_a_typed_error() {
+        let tree = chain_tree(1);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let sc = candidate_with_advantage(&tree, 1, bad);
+            assert_eq!(
+                validate_candidate_score(&sc, tree.node(1).pc, 1),
+                Err(SliceError::NonFiniteScore { pc: tree.node(1).pc, node: 1 })
+            );
+        }
+        let ok = candidate_with_advantage(&tree, 1, 3.5);
+        assert_eq!(validate_candidate_score(&ok, 0, 1), Ok(()));
+    }
+
+    #[test]
+    fn invalid_params_surface_as_a_typed_error() {
+        let forest = forest_for(STREAM);
+        let bad = SelectionParams { ipc: 0.0, ..SelectionParams::default() };
+        let err = try_select_pthreads_stats(&forest, &bad, Parallelism::serial(), true)
+            .unwrap_err();
+        assert!(matches!(err, crate::SelectError::Params(_)), "{err:?}");
     }
 
     #[test]

@@ -28,7 +28,11 @@
 //! - [`streaming`](Pipeline::streaming) — bounded-memory trace transport
 //!   (producer/consumer overlap instead of the deferred-bank fan-out);
 //! - [`artifacts`](Pipeline::artifacts) — skip the trace stage entirely,
-//!   finishing from a cached forest (the service's cache-hit path).
+//!   finishing from a cached forest (the service's cache-hit path);
+//! - [`screening`](Pipeline::screening) — the static ADVagg upper-bound
+//!   pre-pass of the selection stage (on by default; never changes the
+//!   selected set, only skips exact scoring of provably hopeless
+//!   candidates).
 //!
 //! Every combination produces byte-identical [`PipelineResult`]s — the
 //! determinism contract of DESIGN.md §11 extended to the new axes.
@@ -38,6 +42,7 @@ use crate::pipeline::{
 };
 use crate::PipelineError;
 use preexec_core::par::{ParStats, Parallelism};
+use preexec_core::ScreenStats;
 use preexec_func::{RunStats, StreamConfig};
 use preexec_isa::Program;
 use preexec_slice::SliceForest;
@@ -91,6 +96,10 @@ pub struct PipelineOutput {
     /// Whether the trace stage was skipped via
     /// [`artifacts`](Pipeline::artifacts).
     pub artifacts_reused: bool,
+    /// Candidate counts from the static screening pre-pass of the
+    /// selection stage; `None` when screening was disabled via
+    /// [`screening(false)`](Pipeline::screening).
+    pub screen: Option<ScreenStats>,
 }
 
 /// A stage-boundary hook: consulted with the stage name (`"trace"`,
@@ -114,6 +123,7 @@ pub struct Pipeline<'p> {
     stream: StreamConfig,
     artifacts: Option<(SliceForest, RunStats)>,
     gate: Option<StageGate<'p>>,
+    screening: bool,
 }
 
 impl std::fmt::Debug for Pipeline<'_> {
@@ -125,6 +135,7 @@ impl std::fmt::Debug for Pipeline<'_> {
             .field("stream", &self.stream)
             .field("artifacts", &self.artifacts.is_some())
             .field("gate", &self.gate.is_some())
+            .field("screening", &self.screening)
             .finish_non_exhaustive()
     }
 }
@@ -143,6 +154,7 @@ impl<'p> Pipeline<'p> {
             stream: StreamConfig::default(),
             artifacts: None,
             gate: None,
+            screening: true,
         }
     }
 
@@ -201,6 +213,18 @@ impl<'p> Pipeline<'p> {
         self
     }
 
+    /// Toggles the static ADVagg screening pre-pass of the selection
+    /// stage (on by default). Screening never changes the selected set —
+    /// the bound is admissible, so only candidates that cannot score
+    /// positive are pruned — it only skips exact scoring work. Turning it
+    /// off exists for benchmarking the exact path and for bisecting
+    /// suspected screen regressions.
+    #[must_use]
+    pub fn screening(mut self, on: bool) -> Self {
+        self.screening = on;
+        self
+    }
+
     /// Installs a [`StageGate`] consulted before each stage starts. No
     /// gate (the default) admits every stage.
     #[must_use]
@@ -250,6 +274,7 @@ impl<'p> Pipeline<'p> {
             None => Ok(()),
         };
         let artifacts_reused = self.artifacts.is_some();
+        let screening = self.screening;
         let (arts, trace_us) = self.trace_stage()?;
         let mut stage_us = StageUs { trace: trace_us, ..StageUs::default() };
 
@@ -260,7 +285,8 @@ impl<'p> Pipeline<'p> {
 
         check("select")?;
         let t = Instant::now();
-        let (selection, select_par) = pipeline::select_stage(&arts.forest, &cfg, base.ipc(), par)?;
+        let (selection, select_par, screen) =
+            pipeline::select_stage(&arts.forest, &cfg, base.ipc(), par, screening)?;
         stage_us.select = elapsed_us(t);
 
         check("assisted_sim")?;
@@ -275,6 +301,7 @@ impl<'p> Pipeline<'p> {
             stream: arts.stream,
             stage_us,
             artifacts_reused,
+            screen: screening.then_some(screen),
         })
     }
 

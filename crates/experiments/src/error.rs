@@ -5,7 +5,7 @@
 //! here, either as a pipeline-level configuration problem or as a wrapped
 //! error from the layer that detected it.
 
-use preexec_core::ParamsError;
+use preexec_core::{ParamsError, SelectError};
 use preexec_func::ExecError;
 use preexec_slice::SliceError;
 use preexec_timing::{MachineError, SimError};
@@ -167,6 +167,19 @@ impl From<SimError> for PipelineError {
     }
 }
 
+/// Selection-driver faults fold into the existing taxonomy: parameter
+/// rejections keep the `config.selection_params` code and non-finite
+/// scores surface as the slicing fault they encode (degenerate slice
+/// statistics), keeping the wire-visible code set stable.
+impl From<SelectError> for PipelineError {
+    fn from(e: SelectError) -> PipelineError {
+        match e {
+            SelectError::Params(p) => PipelineError::Params(p),
+            SelectError::Score(s) => PipelineError::Slice(s),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +222,15 @@ mod tests {
         let e = PipelineError::ZeroBudget;
         assert!(e.source().is_none());
         assert!(e.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn select_errors_fold_into_the_existing_taxonomy() {
+        let e: PipelineError = SelectError::Params(ParamsError::ZeroMaxPthreadLen).into();
+        assert_eq!(e.code(), "config.selection_params");
+        let e: PipelineError =
+            SelectError::Score(SliceError::NonFiniteScore { pc: 7, node: 3 }).into();
+        assert_eq!(e.code(), "pipeline.slice");
+        assert!(e.to_string().contains("non-finite"));
     }
 }

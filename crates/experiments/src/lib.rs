@@ -49,4 +49,5 @@ pub use pipeline::{
     PipelineResult, StreamRunStats,
 };
 pub use preexec_core::par::{ParStats, Parallelism};
+pub use preexec_core::ScreenStats;
 pub use preexec_func::StreamConfig;

@@ -2,7 +2,10 @@
 
 use crate::PipelineError;
 use preexec_core::par::{self, ParStats, Parallelism};
-use preexec_core::{select_pthreads, select_pthreads_stats, Selection, SelectionParams, StaticPThread};
+use preexec_core::{
+    select_pthreads, try_select_pthreads_stats, ScreenStats, Selection, SelectionParams,
+    StaticPThread,
+};
 use preexec_func::{
     try_run_trace, try_run_trace_chunked, DynInst, ExecError, RunStats, StreamConfig, TraceConfig,
 };
@@ -582,7 +585,7 @@ pub fn try_select(
     cfg: &PipelineConfig,
     base_ipc: f64,
 ) -> Result<Selection, PipelineError> {
-    select_stage(forest, cfg, base_ipc, Parallelism::serial()).map(|(s, _)| s)
+    select_stage(forest, cfg, base_ipc, Parallelism::serial(), true).map(|(s, _, _)| s)
 }
 
 /// [`try_select`] with intra-stage parallelism (see
@@ -600,20 +603,24 @@ pub fn try_select_par(
     base_ipc: f64,
     par: Parallelism,
 ) -> Result<(Selection, ParStats), PipelineError> {
-    select_stage(forest, cfg, base_ipc, par)
+    select_stage(forest, cfg, base_ipc, par, true).map(|(s, p, _)| (s, p))
 }
 
 /// Implementation of the selection stage (behind the deprecated
-/// [`try_select`]/[`try_select_par`] and the builder).
+/// [`try_select`]/[`try_select_par`] and the builder). `screening`
+/// toggles the static ADVagg upper-bound pre-pass; the selected set is
+/// byte-identical either way (the screen only prunes candidates that
+/// cannot score positive), so `false` exists purely for benchmarking the
+/// exact path and for bisecting suspected screen regressions.
 pub(crate) fn select_stage(
     forest: &SliceForest,
     cfg: &PipelineConfig,
     base_ipc: f64,
     par: Parallelism,
-) -> Result<(Selection, ParStats), PipelineError> {
+    screening: bool,
+) -> Result<(Selection, ParStats, ScreenStats), PipelineError> {
     let params = selection_params(cfg, base_ipc);
-    params.try_validate()?;
-    Ok(select_pthreads_stats(forest, &params, par))
+    Ok(try_select_pthreads_stats(forest, &params, par, screening)?)
 }
 
 /// Finishes a pipeline run from pre-computed trace artifacts: base sim,
@@ -673,7 +680,7 @@ pub(crate) fn finish_with_artifacts(
     cfg.try_validate()?;
     preexec_obs::global().counter("pipeline.runs").inc();
     let base = base_sim_stage(program, cfg)?;
-    let (selection, pstats) = select_stage(forest, cfg, base.ipc(), par)?;
+    let (selection, pstats, _) = select_stage(forest, cfg, base.ipc(), par, true)?;
     let assisted = assisted_sim_stage(program, &selection.pthreads, cfg)?;
     Ok((PipelineResult { stats, base, selection, assisted }, pstats))
 }

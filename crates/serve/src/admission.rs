@@ -115,6 +115,17 @@ impl AdmissionGate {
         }
     }
 
+    /// One retry hint: `waves` drain waves at the current mean job wall,
+    /// floored at a single wall — a client must never be told to come
+    /// back before even one job could have freed a slot, and the
+    /// cold-start prior counts as a wall. The product saturates instead
+    /// of wrapping, so an absurd backlog yields the clamp ceiling rather
+    /// than a tiny wrapped hint (or a debug-mode overflow panic).
+    fn retry_hint_ms(&self, waves: u64) -> u64 {
+        let wall = self.mean_job_ms();
+        waves.saturating_mul(wall).max(wall).clamp(MIN_RETRY_MS, MAX_RETRY_MS)
+    }
+
     /// Admits or sheds a submission given the live occupancy (the same
     /// values the `sched.queue_depth` / `sched.running` gauges mirror).
     ///
@@ -123,7 +134,7 @@ impl AdmissionGate {
     /// [`Overloaded`] with the retry hint when `queued + running` is at
     /// or beyond the high-water mark.
     pub fn admit(&self, queued: usize, running: usize) -> Result<(), Overloaded> {
-        let outstanding = queued + running;
+        let outstanding = queued.saturating_add(running);
         if outstanding < self.high_water {
             self.admitted.inc();
             return Ok(());
@@ -131,9 +142,9 @@ impl AdmissionGate {
         self.shed.inc();
         // Expected time until the backlog drains below the mark, spread
         // over the pool.
-        let over = (outstanding + 1).saturating_sub(self.high_water).max(1);
+        let over = outstanding.saturating_add(1).saturating_sub(self.high_water).max(1);
         let waves = over.div_ceil(self.workers) as u64;
-        let retry_after_ms = (waves * self.mean_job_ms()).clamp(MIN_RETRY_MS, MAX_RETRY_MS);
+        let retry_after_ms = self.retry_hint_ms(waves);
         Err(Overloaded {
             retry_after_ms,
             outstanding: outstanding as u64,
@@ -154,18 +165,18 @@ impl AdmissionGate {
     /// [`Overloaded`] when `queued + running + n` would exceed the mark.
     pub fn admit_batch(&self, queued: usize, running: usize, n: usize) -> Result<(), Overloaded> {
         let n = n.max(1);
-        let outstanding = queued + running;
+        let outstanding = queued.saturating_add(running);
         // `outstanding + n - 1 < high_water` ⟺ the last job of the batch
         // still lands under the mark (mirrors the single-job predicate
         // for n == 1).
-        if outstanding + n - 1 < self.high_water {
+        if outstanding.saturating_add(n - 1) < self.high_water {
             self.admitted.add(n as u64);
             return Ok(());
         }
         self.shed.inc();
-        let over = (outstanding + n).saturating_sub(self.high_water).max(1);
+        let over = outstanding.saturating_add(n).saturating_sub(self.high_water).max(1);
         let waves = over.div_ceil(self.workers) as u64;
-        let retry_after_ms = (waves * self.mean_job_ms()).clamp(MIN_RETRY_MS, MAX_RETRY_MS);
+        let retry_after_ms = self.retry_hint_ms(waves);
         Err(Overloaded {
             retry_after_ms,
             outstanding: outstanding as u64,
@@ -220,6 +231,28 @@ mod tests {
         }
         let slow = g.admit(400, 2).expect_err("shed").retry_after_ms;
         assert_eq!(slow, MAX_RETRY_MS);
+    }
+
+    #[test]
+    fn cold_start_hint_covers_at_least_one_job_wall() {
+        // Before any completion the prior *is* the wall: a wide pool
+        // makes a single drain wave, and the hint must still be one
+        // prior-sized wall (250 ms), not the 25 ms clamp floor — a
+        // client retrying after 25 ms is guaranteed to find the same
+        // backlog.
+        let (g, _r) = gate(2, 64);
+        let e = g.admit(2, 0).expect_err("shed");
+        assert_eq!(e.retry_after_ms, DEFAULT_JOB_MS);
+        let e = g.admit_batch(2, 0, 3).expect_err("shed");
+        assert_eq!(e.retry_after_ms, DEFAULT_JOB_MS, "batch hint shares the floor");
+        // Once a wall is observed the floor tracks it.
+        g.record_job_us(5_000_000); // one 5 s job
+        let e = g.admit(2, 0).expect_err("shed");
+        assert_eq!(e.retry_after_ms, 5_000);
+        // An absurd backlog saturates to the clamp ceiling instead of
+        // wrapping the waves × wall product into a tiny hint.
+        let e = g.admit(usize::MAX - 1, 1).expect_err("shed");
+        assert_eq!(e.retry_after_ms, MAX_RETRY_MS);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! reads the file and generates p-thread sets for several machine
 //! configurations quickly, without re-tracing.
 //!
-//! Usage: `toolflow [--jobs N] [--threads N] [--stream] [--profile] [workload[,workload...]|all] [budget] [out.slices]`
-//!        `toolflow [--threads N] [--profile] --read <file.slices>` (selection only, no re-tracing)
+//! Usage: `toolflow [--jobs N] [--threads N] [--stream] [--no-screen] [--profile] [workload[,workload...]|all] [budget] [out.slices]`
+//!        `toolflow [--threads N] [--no-screen] [--profile] --read <file.slices>` (selection only, no re-tracing)
 //!        `toolflow --daemon HOST:PORT [workload[,workload...]|all] [budget]` (run via preexecd)
 //!
 //! With several workloads the runs are scheduled over `--jobs N` worker
@@ -26,6 +26,13 @@
 //! O(window + chunk) instead of O(trace). stdout (slice files and
 //! selections) is byte-identical with and without the flag — the CI
 //! determinism matrix diffs the two.
+//!
+//! `--no-screen` disables the static ADVagg screening pre-pass of the
+//! selection stage and scores every candidate exactly. The screen is
+//! admissible — it only skips candidates that provably cannot score
+//! positive — so stdout is byte-identical with and without the flag; the
+//! CI screening leg diffs the two. The flag exists for benchmarking the
+//! exact path and bisecting suspected screen regressions.
 //!
 //! `--profile` prints a per-stage wall-clock profile table (count, total,
 //! mean, p50/p99 bounds, max — from the [`preexec_obs`] registry) to
@@ -62,7 +69,7 @@
 //! is unchanged: results print in submission order and the first
 //! failing job's code (5 for pipeline faults and panics) wins.
 
-use preexec_core::{select_pthreads_par, Parallelism, SelectionParams};
+use preexec_core::{try_select_pthreads_stats, Parallelism, SelectionParams};
 use preexec_experiments::Pipeline;
 use preexec_serve::json::Json;
 use preexec_serve::retry::{retry_with_backoff, Backoff};
@@ -113,6 +120,7 @@ fn run(args: &[String]) -> Result<u8, Failure> {
     let mut threads: usize = 1;
     let mut profile = false;
     let mut stream = false;
+    let mut screening = true;
     let mut daemon: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
@@ -120,6 +128,7 @@ fn run(args: &[String]) -> Result<u8, Failure> {
         match arg.as_str() {
             "--profile" => profile = true,
             "--stream" => stream = true,
+            "--no-screen" => screening = false,
             "--daemon" => {
                 let v = it
                     .next()
@@ -155,7 +164,7 @@ fn run(args: &[String]) -> Result<u8, Failure> {
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| Failure::new(3, format!("reading {path}: {e}")))?;
                 let mut report = JobReport::default();
-                read_and_select(path, &text, Parallelism::new(threads), &mut report);
+                read_and_select(path, &text, Parallelism::new(threads), screening, &mut report);
                 print!("{}", report.stdout);
                 eprint!("{}", report.stderr);
                 if profile {
@@ -227,7 +236,9 @@ fn run(args: &[String]) -> Result<u8, Failure> {
                     .unwrap_or_else(|| format!("{name}.slices"));
                 let par = Parallelism::new(threads);
                 Box::new(move |_id| {
-                    JobCompletion::Done(run_workload(&name, &program, budget, &path, par, stream))
+                    JobCompletion::Done(run_workload(
+                        &name, &program, budget, &path, par, stream, screening,
+                    ))
                 })
             };
             retry_with_backoff(Backoff::new(2, 200, idx as u64), 3_000, || {
@@ -483,6 +494,7 @@ fn print_profile() {
 
 /// Runs one workload end to end (pass 1 trace+write, pass 2
 /// read+select), entirely into the report's buffers.
+#[allow(clippy::too_many_arguments)]
 fn run_workload(
     name: &str,
     program: &preexec_isa::Program,
@@ -490,6 +502,7 @@ fn run_workload(
     path: &str,
     par: Parallelism,
     stream: bool,
+    screening: bool,
 ) -> JobReport {
     let mut report = JobReport::default();
     // Pass 1 (expensive, once): trace and slice, write the file. The
@@ -522,7 +535,7 @@ fn run_workload(
     // Pass 2 (cheap, many times): read the file back and select p-thread
     // sets for several configurations.
     match std::fs::read_to_string(path) {
-        Ok(text) => read_and_select(path, &text, par, &mut report),
+        Ok(text) => read_and_select(path, &text, par, screening, &mut report),
         Err(e) => {
             let _ = writeln!(report.stderr, "toolflow: reading {path}: {e}");
             report.code = 3;
@@ -533,9 +546,15 @@ fn run_workload(
 
 /// Pass 2: parse a slice file (strictly, with best-effort recovery on
 /// corruption) and report p-thread selections.
-fn read_and_select(path: &str, text: &str, par: Parallelism, report: &mut JobReport) {
+fn read_and_select(
+    path: &str,
+    text: &str,
+    par: Parallelism,
+    screening: bool,
+    report: &mut JobReport,
+) {
     match read_forest(text) {
-        Ok(forest) => select_and_report(&forest, par, report),
+        Ok(forest) => select_and_report(&forest, par, screening, report),
         Err(strict_err) => {
             // Corruption always exits nonzero, but salvage what we can
             // first: a partially recovered forest still yields a usable
@@ -552,7 +571,7 @@ fn read_and_select(path: &str, text: &str, par: Parallelism, report: &mut JobRep
                     recovered.forest.num_trees(),
                     recovered.skipped_trees
                 );
-                select_and_report(&recovered.forest, par, report);
+                select_and_report(&recovered.forest, par, screening, report);
             }
             let _ = writeln!(
                 report.stderr,
@@ -566,7 +585,15 @@ fn read_and_select(path: &str, text: &str, par: Parallelism, report: &mut JobRep
 }
 
 /// Selects and prints p-thread sets for several machine configurations.
-fn select_and_report(forest: &SliceForest, par: Parallelism, report: &mut JobReport) {
+/// The selected sets — and therefore stdout — are byte-identical with
+/// screening on or off; the flag only changes how much exact scoring
+/// work the selection stage performs.
+fn select_and_report(
+    forest: &SliceForest,
+    par: Parallelism,
+    screening: bool,
+    report: &mut JobReport,
+) {
     for (label, params) in [
         ("8-wide, 78-cycle misses", SelectionParams { bw_seq: 8.0, ipc: 0.5, miss_latency: 78.0, ..SelectionParams::default() }),
         ("8-wide, 148-cycle misses", SelectionParams { bw_seq: 8.0, ipc: 0.5, miss_latency: 148.0, ..SelectionParams::default() }),
@@ -581,7 +608,14 @@ fn select_and_report(forest: &SliceForest, par: Parallelism, report: &mut JobRep
             report.code = 5;
             return;
         }
-        let sel = select_pthreads_par(forest, &params, par);
+        let sel = match try_select_pthreads_stats(forest, &params, par, screening) {
+            Ok((sel, _, _)) => sel,
+            Err(e) => {
+                let _ = writeln!(report.stderr, "toolflow: selecting [{label}]: {e}");
+                report.code = 5;
+                return;
+            }
+        };
         let _ = writeln!(
             report.stdout,
             "  [{label}] {} p-threads, predicted coverage {}/{} misses, avg len {:.1}",

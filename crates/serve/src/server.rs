@@ -872,6 +872,21 @@ fn shard_stats_json(shared: &Shared) -> Json {
     Json::obj(fields)
 }
 
+/// Cumulative screening counters across every selection this daemon has
+/// run (the global `screen.pruned` / `screen.survivors` counters the
+/// selection stage maintains): how much exact-scoring work the static
+/// ADVagg pre-pass is skipping in production.
+fn screen_stats_json() -> Json {
+    let obs = preexec_obs::global();
+    let pruned = obs.counter("screen.pruned").get();
+    let survivors = obs.counter("screen.survivors").get();
+    Json::obj(vec![
+        ("pruned", Json::num_u64(pruned)),
+        ("survivors", Json::num_u64(survivors)),
+        ("candidates", Json::num_u64(pruned + survivors)),
+    ])
+}
+
 fn stats_response(shared: &Shared) -> Json {
     let sched = shared.sched.stats();
     let cache = shared.cache.local().stats();
@@ -908,6 +923,7 @@ fn stats_response(shared: &Shared) -> Json {
                 ("restored", Json::num_u64(lock(&shared.restored).len() as u64)),
             ]),
         ),
+        ("screen", screen_stats_json()),
         (
             "cache",
             Json::obj(vec![

@@ -1,11 +1,13 @@
 //! Typed errors for the slicing layer.
 
 use crate::io::ParseForestError;
+use preexec_isa::Pc;
 use std::error::Error;
 use std::fmt;
 
 /// A fault raised by the slicing layer: bad construction parameters,
-/// misuse of an empty window, or a corrupt serialized forest.
+/// misuse of an empty window, a corrupt serialized forest, or slice
+/// statistics degenerate enough to poison downstream scoring.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SliceError {
     /// A [`SliceWindow`](crate::SliceWindow) was requested with scope 0.
@@ -17,6 +19,17 @@ pub enum SliceError {
     EmptyWindow,
     /// A serialized slice forest failed to parse.
     Parse(ParseForestError),
+    /// A candidate p-thread's aggregate advantage evaluated to NaN or
+    /// ±∞ — the slice-tree statistics feeding the selection model were
+    /// degenerate. Carries the trigger's static PC and its node id
+    /// within the slice tree (the value itself is omitted so the error
+    /// stays `Eq`-comparable).
+    NonFiniteScore {
+        /// Static PC of the poisoned candidate's trigger.
+        pc: Pc,
+        /// Node id of the trigger within its slice tree.
+        node: usize,
+    },
 }
 
 impl fmt::Display for SliceError {
@@ -26,6 +39,10 @@ impl fmt::Display for SliceError {
             SliceError::ZeroMaxSliceLen => write!(f, "max slice length must be positive"),
             SliceError::EmptyWindow => write!(f, "slice of empty window"),
             SliceError::Parse(e) => e.fmt(f),
+            SliceError::NonFiniteScore { pc, node } => write!(
+                f,
+                "non-finite advantage for the candidate triggered at pc {pc} (slice-tree node {node})"
+            ),
         }
     }
 }
@@ -56,5 +73,7 @@ mod tests {
         assert!(SliceError::EmptyWindow.to_string().contains("empty"));
         let p = ParseForestError { line: 7, message: "boom".into() };
         assert!(SliceError::from(p).to_string().contains("line 7"));
+        let s = SliceError::NonFiniteScore { pc: 42, node: 3 }.to_string();
+        assert!(s.contains("non-finite") && s.contains("42") && s.contains("3"));
     }
 }
