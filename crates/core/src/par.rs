@@ -119,6 +119,14 @@ fn elapsed_us(t: Instant) -> u64 {
     t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
 }
 
+/// Below this many items a parallel map runs inline on the caller's
+/// thread even when more threads are configured: for small fan-outs the
+/// spawn/join round-trip costs more than the work itself (measured as
+/// sub-1.0 "speedups" on the pipeline bench's small select and
+/// trace_slice stages). Results are unaffected — the inline path is the
+/// same ordered per-item loop the chunked merge reproduces.
+pub const SERIAL_FALLBACK_ITEMS: usize = 128;
+
 /// Mirrors one call's counters into the global metrics registry
 /// (`par.calls`, `par.items`, `par.busy_us`, `par.wall_us`). Write-only:
 /// nothing here feeds back into the mapped computation, preserving the
@@ -152,7 +160,11 @@ where
 {
     let started = Instant::now();
     let threads = par.threads().min(items.len()).max(1);
-    if threads == 1 {
+    if threads == 1 || items.len() < SERIAL_FALLBACK_ITEMS {
+        if threads > 1 {
+            // Parallelism was requested and declined: surface how often.
+            preexec_obs::global().counter("par.serial_fallbacks").inc();
+        }
         let out: Vec<R> = items.iter().map(&f).collect();
         let wall = elapsed_us(started);
         let stats = ParStats { wall_us: wall, busy_us: wall, threads: 1, items: items.len() };
@@ -274,6 +286,34 @@ mod tests {
         assert!(!Parallelism::new(2).is_serial());
         assert_eq!(Parallelism::default(), Parallelism::serial());
         assert!(Parallelism::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_inline_execution() {
+        let fallbacks = preexec_obs::global().counter("par.serial_fallbacks");
+        let before = fallbacks.get();
+        let small: Vec<u32> = (0..SERIAL_FALLBACK_ITEMS as u32 - 1).collect();
+        let expect: Vec<u32> = small.iter().map(|x| x * 3).collect();
+        let (out, stats) = map_stats(Parallelism::new(8), &small, |x| x * 3);
+        assert_eq!(out, expect, "inline path must match");
+        assert_eq!(stats.threads, 1, "small input must not spawn threads");
+        assert!(fallbacks.get() > before, "declined parallelism must be counted");
+    }
+
+    #[test]
+    fn threshold_sized_inputs_still_parallelize() {
+        let items: Vec<u32> = (0..SERIAL_FALLBACK_ITEMS as u32).collect();
+        let (_, stats) = map_stats(Parallelism::new(4), &items, |x| x + 1);
+        assert_eq!(stats.threads, 4);
+    }
+
+    #[test]
+    fn serial_knob_does_not_count_as_fallback() {
+        let fallbacks = preexec_obs::global().counter("par.serial_fallbacks");
+        let before = fallbacks.get();
+        let items: Vec<u32> = (0..8).collect();
+        let _ = map_stats(Parallelism::serial(), &items, |x| x + 1);
+        assert_eq!(fallbacks.get(), before, "serial was requested, not declined");
     }
 
     #[test]

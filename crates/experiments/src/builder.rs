@@ -102,6 +102,40 @@ pub struct PipelineOutput {
     pub screen: Option<ScreenStats>,
 }
 
+/// Default checkpoint cadence for
+/// [`SlicingMode::OnDemand`]: one checkpoint
+/// every 4096 emitted instructions — small enough that re-executing one
+/// interval is cheap, large enough that checkpoint storage stays a
+/// rounding error next to the trace itself.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 4096;
+
+/// How the trace stage extracts backward slices.
+///
+/// Both modes produce **bit-identical** slice forests (asserted by the
+/// builder tests and `tests/determinism`); they differ only in how much
+/// trace history stays resident while slicing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SlicingMode {
+    /// The classic in-memory sliding window: the last `scope` dynamic
+    /// instructions stay resident (`O(scope)` memory). The default.
+    #[default]
+    Windowed,
+    /// Checkpoint-based on-demand re-execution: the trace pass records a
+    /// lightweight checkpoint (architectural registers + dirty pages +
+    /// statistics) every `checkpoint_every` emitted instructions and
+    /// keeps **no window**; each slice is reconstructed later by
+    /// deterministically re-executing bounded intervals from the nearest
+    /// checkpoint. Peak slicing memory is
+    /// `O(checkpoints + checkpoint_every)` regardless of scope, making
+    /// scopes far beyond window residency feasible. A cadence of 0 is
+    /// clamped to 1.
+    OnDemand {
+        /// Emitted instructions between checkpoints (see
+        /// [`DEFAULT_CHECKPOINT_EVERY`]).
+        checkpoint_every: u64,
+    },
+}
+
 /// A stage-boundary hook: consulted with the stage name (`"trace"`,
 /// `"base_sim"`, `"select"`, `"assisted_sim"`) immediately before each
 /// stage starts. Returning an error aborts the run with that error —
@@ -124,6 +158,7 @@ pub struct Pipeline<'p> {
     artifacts: Option<(SliceForest, RunStats)>,
     gate: Option<StageGate<'p>>,
     screening: bool,
+    slicing: SlicingMode,
 }
 
 impl std::fmt::Debug for Pipeline<'_> {
@@ -136,6 +171,7 @@ impl std::fmt::Debug for Pipeline<'_> {
             .field("artifacts", &self.artifacts.is_some())
             .field("gate", &self.gate.is_some())
             .field("screening", &self.screening)
+            .field("slicing", &self.slicing)
             .finish_non_exhaustive()
     }
 }
@@ -155,6 +191,7 @@ impl<'p> Pipeline<'p> {
             artifacts: None,
             gate: None,
             screening: true,
+            slicing: SlicingMode::Windowed,
         }
     }
 
@@ -222,6 +259,17 @@ impl<'p> Pipeline<'p> {
     #[must_use]
     pub fn screening(mut self, on: bool) -> Self {
         self.screening = on;
+        self
+    }
+
+    /// Selects how the trace stage extracts slices (see [`SlicingMode`];
+    /// the default is [`SlicingMode::Windowed`]). In
+    /// [`OnDemand`](SlicingMode::OnDemand) mode the checkpointed
+    /// re-execution path replaces both the batch and streaming
+    /// transports — [`streaming`](Self::streaming) is ignored.
+    #[must_use]
+    pub fn slicing_mode(mut self, mode: SlicingMode) -> Self {
+        self.slicing = mode;
         self
     }
 
@@ -306,8 +354,9 @@ impl<'p> Pipeline<'p> {
     }
 
     /// The trace stage under the builder's knobs: supplied artifacts win,
-    /// then streaming, then batch. Returns the artifacts plus the stage's
-    /// wall-clock microseconds (zero for supplied artifacts).
+    /// then on-demand re-execution, then streaming, then batch. Returns
+    /// the artifacts plus the stage's wall-clock microseconds (zero for
+    /// supplied artifacts).
     fn trace_stage(self) -> Result<(TraceArtifacts, u64), PipelineError> {
         let serial = ParStats { threads: 1, ..ParStats::default() };
         if let Some((forest, stats)) = self.artifacts {
@@ -316,7 +365,18 @@ impl<'p> Pipeline<'p> {
         }
         self.check_gate("trace")?;
         let t = Instant::now();
-        let arts = if self.streaming {
+        let arts = if let SlicingMode::OnDemand { checkpoint_every } = self.slicing {
+            let (forest, stats, par) = pipeline::trace_ondemand(
+                self.program,
+                self.cfg.scope,
+                self.cfg.max_slice_len,
+                self.cfg.budget,
+                self.cfg.warmup,
+                checkpoint_every,
+                self.par,
+            )?;
+            TraceArtifacts { forest, stats, par, stream: None }
+        } else if self.streaming {
             let (forest, stats, stream) = pipeline::try_trace_and_slice_streamed(
                 self.program,
                 self.cfg.scope,
@@ -450,6 +510,45 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(key(&out.result), key(&whole.result));
+    }
+
+    #[test]
+    fn ondemand_run_matches_batch_run_across_threads() {
+        let p = vpr();
+        let c = cfg();
+        let batch = Pipeline::new(&p).config(c).run().unwrap();
+        let batch_forest = preexec_slice::write_forest(&batch.forest);
+        for threads in [1usize, 2, 8] {
+            let out = Pipeline::new(&p)
+                .config(c)
+                .threads(threads)
+                .slicing_mode(SlicingMode::OnDemand {
+                    checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+                })
+                .run()
+                .unwrap();
+            assert_eq!(key(&out.result), key(&batch.result), "threads={threads}");
+            assert_eq!(
+                preexec_slice::write_forest(&out.forest),
+                batch_forest,
+                "forest bytes diverged at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn ondemand_matches_under_coarse_and_fine_cadence() {
+        let p = vpr();
+        let c = cfg();
+        let batch = Pipeline::new(&p).config(c).run().unwrap();
+        for every in [1u64, 257, 1 << 20] {
+            let out = Pipeline::new(&p)
+                .config(c)
+                .slicing_mode(SlicingMode::OnDemand { checkpoint_every: every })
+                .run()
+                .unwrap();
+            assert_eq!(key(&out.result), key(&batch.result), "checkpoint_every={every}");
+        }
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub mod fmt;
 pub mod pipeline;
 pub mod tables;
 
-pub use builder::{Pipeline, PipelineOutput, StageGate, StageUs, TraceArtifacts};
+pub use builder::{
+    Pipeline, PipelineOutput, SlicingMode, StageGate, StageUs, TraceArtifacts,
+    DEFAULT_CHECKPOINT_EVERY,
+};
 pub use error::PipelineError;
 #[allow(deprecated)] // re-exported for migration; the wrappers warn at use sites
 pub use pipeline::{

@@ -7,11 +7,15 @@ use preexec_core::{
     StaticPThread,
 };
 use preexec_func::{
-    try_run_trace, try_run_trace_chunked, DynInst, ExecError, RunStats, StreamConfig, TraceConfig,
+    try_run_trace, try_run_trace_checkpointed, try_run_trace_chunked, DynInst, ExecError,
+    Replayer, RunStats, StreamConfig, TraceConfig,
 };
-use preexec_isa::Program;
+use preexec_isa::{Inst, Pc, Program};
 use preexec_mem::HierarchyConfig;
-use preexec_slice::{PendingTree, SliceForest, SliceForestBuilder};
+use preexec_slice::{
+    OnDemandSlicer, PendingTree, SliceEntry, SliceForest, SliceForestBuilder, SliceTree,
+};
+use std::collections::BTreeMap;
 use preexec_timing::{try_simulate, MachineParams, SimConfig, SimMode, SimResult};
 
 /// Per-stage parallel-utilization counters for one pipeline run: one
@@ -294,6 +298,159 @@ pub(crate) fn trace_batch_par(
     let forest = deferred.assemble(trees);
     build_span.finish();
     Ok((forest, stats, pstats))
+}
+
+/// On-demand re-execution trace+slice with checkpoint-bounded memory
+/// (the [`SlicingMode::OnDemand`](crate::SlicingMode::OnDemand) path of
+/// [`Pipeline`](crate::Pipeline)).
+///
+/// Pass 1 traces the program once, recording periodic checkpoints
+/// ([`preexec_func::try_run_trace_checkpointed`]) and the same
+/// per-instruction statistics [`feed_measured`] accumulates — but **no
+/// slicing window**: only the sequence numbers of the L2-missing loads
+/// are remembered. Pass 2 re-executes bounded intervals from the nearest
+/// checkpoint ([`OnDemandSlicer`]) to reconstruct, for each recorded
+/// miss, exactly the slice the windowed path would have produced, then
+/// fans the per-PC slice banks out across `par` to build the trees.
+///
+/// The forest is **bit-identical** to [`trace_batch_par`]'s for any
+/// `checkpoint_every >= 1` (a cadence of 0 is clamped to 1) and any
+/// thread count: slices are extracted serially in trace order, and tree
+/// construction from a fixed slice bank is order-deterministic.
+///
+/// Peak slicing memory is `O(checkpoints + cache × checkpoint_every)`
+/// rather than `O(scope)`, so scopes far beyond what a resident
+/// [`preexec_slice::SliceWindow`] could hold become feasible.
+///
+/// # Errors
+///
+/// Same as [`try_trace_and_slice_warm`]; re-execution faults surface as
+/// [`preexec_slice::SliceError::Replay`] (possible only if the recording
+/// run itself would have faulted).
+pub(crate) fn trace_ondemand(
+    program: &Program,
+    scope: usize,
+    max_slice_len: usize,
+    budget: u64,
+    warmup: u64,
+    checkpoint_every: u64,
+    par: Parallelism,
+) -> Result<(SliceForest, RunStats, ParStats), PipelineError> {
+    let config = trace_config(budget, warmup);
+    let trace_span = preexec_obs::global().span("stage.trace");
+    let mut stats = RunStats::new();
+    let mut exec_counts: Vec<u64> = Vec::new();
+    let mut observed: u64 = 0;
+    // (seq, pc, inst) of every measured L2-missing load, in trace order.
+    let mut requests: Vec<(u64, Pc, Inst)> = Vec::new();
+    // The sink cannot return early, so a malformed delta is latched here
+    // and surfaced once the trace stops.
+    let mut sink_fault: Option<ExecError> = None;
+    let (full, trace) = try_run_trace_checkpointed(program, &config, checkpoint_every, |d| {
+        if sink_fault.is_some() {
+            return;
+        }
+        if let Err(e) = count_measured(&mut stats, &mut exec_counts, &mut observed, warmup, d) {
+            sink_fault = Some(e);
+            return;
+        }
+        if d.seq >= warmup && d.is_l2_miss_load() {
+            requests.push((d.seq, d.pc, d.inst));
+        }
+    })?;
+    if let Some(e) = sink_fault {
+        return Err(e.into());
+    }
+    stats.total_steps = full.total_steps;
+    trace_span.finish();
+
+    let reexec_span = preexec_obs::global().span("stage.reexec");
+    let mut slicer = OnDemandSlicer::try_new(Replayer::new(program, &config, &trace), scope, max_slice_len)?;
+    // Slices bank per root PC in extraction (= trace) order, exactly the
+    // order the windowed deferred path accumulates them.
+    let mut banks: BTreeMap<Pc, (Inst, Vec<Vec<SliceEntry>>)> = BTreeMap::new();
+    for &(seq, pc, inst) in &requests {
+        let slice = slicer.try_slice_at(seq)?;
+        banks.entry(pc).or_insert_with(|| (inst, Vec::new())).1.push(slice);
+    }
+    let reg = preexec_obs::global();
+    reg.counter("checkpoint.count").add(trace.num_checkpoints() as u64);
+    reg.counter("reexec.insts").add(slicer.reexec_insts());
+    reg.gauge("reexec.peak_resident_insts").set(slicer.peak_resident_insts() as i64);
+    reexec_span.finish();
+
+    let build_span = preexec_obs::global().span("stage.slice_build");
+    let items: Vec<(Pc, Inst, Vec<Vec<SliceEntry>>)> =
+        banks.into_iter().map(|(pc, (inst, slices))| (pc, inst, slices)).collect();
+    let (trees, pstats) = par::map_stats(par, &items, |(pc, inst, slices)| {
+        let mut tree = SliceTree::new(*pc, *inst);
+        for slice in slices {
+            tree.insert_slice(slice);
+        }
+        tree
+    });
+    let counts: Vec<(Pc, u64)> = exec_counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(pc, &c)| (pc as Pc, c))
+        .collect();
+    let forest = SliceForest::from_parts(trees, counts, observed);
+    build_span.finish();
+    Ok((forest, stats, pstats))
+}
+
+/// The statistics half of [`feed_measured`], for trace paths that keep
+/// no slicing window: counts one dynamic instruction into the trace
+/// stats and the per-PC execution counts, skipping warm-up instructions
+/// entirely. Kept byte-for-byte equivalent to the counting
+/// [`feed_measured`] performs so the on-demand path reproduces the
+/// windowed path's `RunStats` and `DC_trig` exactly.
+fn count_measured(
+    stats: &mut RunStats,
+    exec_counts: &mut Vec<u64>,
+    observed: &mut u64,
+    warmup: u64,
+    d: &DynInst,
+) -> Result<(), ExecError> {
+    if d.seq < warmup {
+        return Ok(());
+    }
+    *observed += 1;
+    let pc = d.pc as usize;
+    if pc >= exec_counts.len() {
+        exec_counts.resize(pc + 1, 0);
+    }
+    exec_counts[pc] += 1;
+    stats.insts += 1;
+    match d.inst.op.class() {
+        preexec_isa::OpClass::Load => match d.level {
+            Some(level) => stats.record_load(d.pc, level),
+            None => {
+                return Err(ExecError::Malformed {
+                    pc: d.pc,
+                    reason: "load reported no cache level",
+                })
+            }
+        },
+        preexec_isa::OpClass::Store => match d.level {
+            Some(level) => stats.record_store(level),
+            None => {
+                return Err(ExecError::Malformed {
+                    pc: d.pc,
+                    reason: "store reported no cache level",
+                })
+            }
+        },
+        preexec_isa::OpClass::Branch => {
+            stats.branches += 1;
+            if d.taken {
+                stats.taken_branches += 1;
+            }
+        }
+        _ => {}
+    }
+    Ok(())
 }
 
 /// Streaming trace+slice with bounded memory: the functional trace runs

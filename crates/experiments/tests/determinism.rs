@@ -11,7 +11,7 @@
 //! round-trips every `f64` exactly, so string equality below is bitwise
 //! equality of the whole result.
 
-use preexec_experiments::{Pipeline, PipelineConfig};
+use preexec_experiments::{Pipeline, PipelineConfig, SlicingMode, DEFAULT_CHECKPOINT_EVERY};
 use preexec_slice::write_forest;
 use preexec_workloads::{suite, InputSet};
 
@@ -48,6 +48,18 @@ fn pipeline_is_bit_identical_across_thread_counts() {
         "pipeline output differs between batch and streaming"
     );
     assert!(streamed.stream.expect("transport stats").chunks > 0);
+
+    // On-demand re-execution slicing is a fourth.
+    let ondemand = Pipeline::new(&p)
+        .config(cfg)
+        .slicing_mode(SlicingMode::OnDemand { checkpoint_every: DEFAULT_CHECKPOINT_EVERY })
+        .run()
+        .expect("ondemand run");
+    assert_eq!(
+        format!("{:?}", ondemand.result),
+        ref_fmt,
+        "pipeline output differs between windowed and ondemand slicing"
+    );
 }
 
 #[test]
@@ -76,5 +88,15 @@ fn slice_forest_serializes_identically_across_thread_counts() {
         write_forest(&arts_s.forest),
         reference,
         "forest differs between batch and streaming"
+    );
+    let arts_o = Pipeline::new(&p)
+        .config(cfg)
+        .slicing_mode(SlicingMode::OnDemand { checkpoint_every: 777 })
+        .trace()
+        .expect("ondemand trace");
+    assert_eq!(
+        write_forest(&arts_o.forest),
+        reference,
+        "forest differs between windowed and ondemand slicing"
     );
 }

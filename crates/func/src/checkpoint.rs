@@ -1,0 +1,299 @@
+//! Periodic lightweight checkpoints of a trace run.
+//!
+//! The on-demand slicing mode (DESIGN.md §17) replaces the O(scope)
+//! slicing window with O(checkpoint + chunk) state: during the trace,
+//! [`try_run_trace_checkpointed`] snapshots the architectural state every
+//! `checkpoint_every` *emitted* instructions — registers + PC, the pages
+//! dirtied since the previous snapshot, the cache hierarchy, and the
+//! statistics counters. A snapshot is everything [`crate::replay`] needs
+//! to re-execute the trace deterministically from that point, which is
+//! how dynamic slices are reconstructed on demand instead of being held
+//! in memory for the whole trace.
+//!
+//! Checkpoints are aligned to emitted-instruction counts (`seq` space),
+//! so checkpoint `i` is taken immediately before the instruction with
+//! `seq == i * checkpoint_every` executes, and the replay of interval
+//! `i` reproduces exactly the emitted instructions
+//! `[i * checkpoint_every, (i + 1) * checkpoint_every)`.
+
+use crate::tracer::{run_trace_loop, TraceState};
+use crate::{Cpu, DynInst, ExecError, RunStats, TraceConfig};
+use preexec_mem::{FuncHierarchy, MemBus, Memory, MEM_PAGE_SHIFT, MEM_PAGE_SIZE};
+use std::collections::BTreeSet;
+
+/// A [`Memory`] wrapper that records which pages have been written since
+/// the last checkpoint. Reads delegate untouched; the set is drained at
+/// every snapshot.
+struct TrackedMem {
+    mem: Memory,
+    dirty: BTreeSet<u64>,
+}
+
+impl TrackedMem {
+    fn new(mem: Memory) -> TrackedMem {
+        TrackedMem { mem, dirty: BTreeSet::new() }
+    }
+
+    #[inline]
+    fn mark(&mut self, addr: u64, width: u64) {
+        let first = addr >> MEM_PAGE_SHIFT;
+        let last = addr.saturating_add(width - 1) >> MEM_PAGE_SHIFT;
+        for p in first..=last {
+            self.dirty.insert(p);
+        }
+    }
+
+    /// Snapshots every dirtied page's current content and clears the set.
+    fn take_dirty(&mut self) -> Vec<(u64, Box<[u8; MEM_PAGE_SIZE]>)> {
+        let dirty = std::mem::take(&mut self.dirty);
+        dirty
+            .into_iter()
+            .filter_map(|p| self.mem.page_bytes(p).map(|bytes| (p, Box::new(*bytes))))
+            .collect()
+    }
+}
+
+impl MemBus for TrackedMem {
+    #[inline]
+    fn read_u8(&self, addr: u64) -> u8 {
+        self.mem.read_u8(addr)
+    }
+    #[inline]
+    fn read_u32(&self, addr: u64) -> u32 {
+        self.mem.read_u32(addr)
+    }
+    #[inline]
+    fn read_u64(&self, addr: u64) -> u64 {
+        self.mem.read_u64(addr)
+    }
+    #[inline]
+    fn write_u8(&mut self, addr: u64, value: u8) {
+        self.mark(addr, 1);
+        self.mem.write_u8(addr, value);
+    }
+    #[inline]
+    fn write_u32(&mut self, addr: u64, value: u32) {
+        self.mark(addr, 4);
+        self.mem.write_u32(addr, value);
+    }
+    #[inline]
+    fn write_u64(&mut self, addr: u64, value: u64) {
+        self.mark(addr, 8);
+        self.mem.write_u64(addr, value);
+    }
+}
+
+/// One snapshot of the trace state, taken immediately before the
+/// instruction with `seq == emitted` executed.
+pub struct Checkpoint {
+    /// Emitted instructions when the snapshot was taken — the `seq` of
+    /// the first instruction a replay from here emits.
+    pub emitted: u64,
+    /// Architectural steps (including off/warm phases) when taken.
+    pub total_steps: u64,
+    pub(crate) cpu: Cpu,
+    pub(crate) hierarchy: FuncHierarchy,
+    pub(crate) stats: RunStats,
+    /// Pages dirtied since the previous checkpoint, content as of this
+    /// one, sorted by page index.
+    pub(crate) pages: Vec<(u64, Box<[u8; MEM_PAGE_SIZE]>)>,
+}
+
+impl Checkpoint {
+    /// The recorded content of `page` at this checkpoint, if it was
+    /// dirtied in the preceding interval.
+    pub(crate) fn page(&self, page: u64) -> Option<&[u8; MEM_PAGE_SIZE]> {
+        self.pages
+            .binary_search_by_key(&page, |&(p, _)| p)
+            .ok()
+            .map(|i| &*self.pages[i].1)
+    }
+
+    /// Bytes of snapshot payload held (dirty pages only).
+    pub fn page_bytes_held(&self) -> usize {
+        self.pages.len() * MEM_PAGE_SIZE
+    }
+}
+
+/// The checkpoint record of one trace run: the snapshot cadence, the
+/// total emitted-instruction count, and one [`Checkpoint`] per
+/// `checkpoint_every` emitted instructions (the first at `seq` 0).
+pub struct CheckpointTrace {
+    checkpoint_every: u64,
+    emitted: u64,
+    checkpoints: Vec<Checkpoint>,
+}
+
+impl CheckpointTrace {
+    /// The snapshot cadence in emitted instructions.
+    pub fn checkpoint_every(&self) -> u64 {
+        self.checkpoint_every
+    }
+
+    /// Total instructions the recorded run emitted.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Number of checkpoints recorded.
+    pub fn num_checkpoints(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// The checkpoint interval containing `seq` — also the index of the
+    /// checkpoint a replay reconstructing `seq` starts from. `seq` must
+    /// be below [`emitted`](Self::emitted).
+    pub fn interval_of(&self, seq: u64) -> usize {
+        ((seq / self.checkpoint_every) as usize).min(self.checkpoints.len().saturating_sub(1))
+    }
+
+    /// First emitted `seq` of checkpoint interval `idx`.
+    pub fn interval_start(&self, idx: usize) -> u64 {
+        idx as u64 * self.checkpoint_every
+    }
+
+    /// One-past-the-last emitted `seq` of checkpoint interval `idx`.
+    pub fn interval_end(&self, idx: usize) -> u64 {
+        (self.interval_start(idx) + self.checkpoint_every).min(self.emitted)
+    }
+
+    pub(crate) fn checkpoint(&self, idx: usize) -> &Checkpoint {
+        &self.checkpoints[idx]
+    }
+
+    /// Total bytes of dirty-page payload across all checkpoints (the
+    /// dominant term of the record's memory footprint).
+    pub fn page_bytes_held(&self) -> usize {
+        self.checkpoints.iter().map(Checkpoint::page_bytes_held).sum()
+    }
+}
+
+/// [`crate::try_run_trace`] plus checkpoint recording: emits the same
+/// [`DynInst`] stream and returns the same [`RunStats`], and additionally
+/// returns a [`CheckpointTrace`] from which any part of the run can be
+/// re-executed deterministically (see [`crate::replay`]).
+///
+/// `checkpoint_every` is clamped to at least 1. The initial data-segment
+/// image is *not* recorded (the replayer reloads it from the program), so
+/// snapshots hold only pages the program itself dirtied.
+///
+/// # Errors
+///
+/// Same as [`crate::try_run_trace`].
+pub fn try_run_trace_checkpointed(
+    program: &preexec_isa::Program,
+    config: &TraceConfig,
+    checkpoint_every: u64,
+    mut sink: impl FnMut(&DynInst),
+) -> Result<(RunStats, CheckpointTrace), ExecError> {
+    let every = checkpoint_every.max(1);
+    let mut mem = Memory::new();
+    for seg in program.data_segments() {
+        mem.write_slice(seg.base, &seg.bytes);
+    }
+    let mut state = TraceState {
+        cpu: Cpu::new(program),
+        mem: TrackedMem::new(mem),
+        hierarchy: FuncHierarchy::new(config.hierarchy),
+        stats: RunStats::new(),
+        emitted: 0,
+    };
+    let mut checkpoints: Vec<Checkpoint> = Vec::new();
+    run_trace_loop(
+        program,
+        config,
+        &mut state,
+        |st| {
+            // Snapshot at the first loop-top where the *next* emitted
+            // instruction opens a new interval (off/warm steps in between
+            // re-enter with the same `emitted` but `len` has advanced).
+            if checkpoints.len() as u64 * every == st.emitted {
+                checkpoints.push(Checkpoint {
+                    emitted: st.emitted,
+                    total_steps: st.stats.total_steps,
+                    cpu: st.cpu.clone(),
+                    hierarchy: st.hierarchy.clone(),
+                    stats: st.stats.clone(),
+                    pages: st.mem.take_dirty(),
+                });
+            }
+        },
+        |d| {
+            sink(d);
+            true
+        },
+    )?;
+    Ok((
+        state.stats,
+        CheckpointTrace { checkpoint_every: every, emitted: state.emitted, checkpoints },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::try_run_trace;
+    use preexec_isa::assemble;
+
+    fn chase() -> preexec_isa::Program {
+        assemble(
+            "t",
+            "li r1, 0x100000\n li r2, 0\n li r3, 512\n\
+             top: bge r2, r3, done\n\
+             ld r4, 0(r1)\n sd r2, 8(r1)\n addi r1, r1, 64\n addi r2, r2, 1\n j top\n\
+             done: halt",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_trace() {
+        let p = chase();
+        let config = TraceConfig::default();
+        let mut plain: Vec<String> = Vec::new();
+        let s1 = try_run_trace(&p, &config, |d| plain.push(format!("{d:?}"))).unwrap();
+        let mut ck: Vec<String> = Vec::new();
+        let (s2, trace) =
+            try_run_trace_checkpointed(&p, &config, 128, |d| ck.push(format!("{d:?}"))).unwrap();
+        assert_eq!(plain, ck);
+        assert_eq!(format!("{s1:?}"), format!("{s2:?}"));
+        assert_eq!(trace.emitted(), plain.len() as u64);
+        // One checkpoint per opened 128-instruction interval.
+        assert_eq!(trace.num_checkpoints() as u64, trace.emitted().div_ceil(128));
+    }
+
+    #[test]
+    fn checkpoints_align_to_cadence() {
+        let p = chase();
+        let (_, trace) =
+            try_run_trace_checkpointed(&p, &TraceConfig::default(), 100, |_| {}).unwrap();
+        for i in 0..trace.num_checkpoints() {
+            assert_eq!(trace.checkpoint(i).emitted, i as u64 * 100);
+            assert_eq!(trace.interval_start(i), i as u64 * 100);
+            assert!(trace.interval_end(i) <= trace.emitted());
+        }
+        assert_eq!(trace.interval_of(0), 0);
+        assert_eq!(trace.interval_of(99), 0);
+        assert_eq!(trace.interval_of(100), 1);
+    }
+
+    #[test]
+    fn zero_cadence_is_clamped() {
+        let p = chase();
+        let (_, trace) =
+            try_run_trace_checkpointed(&p, &TraceConfig::default(), 0, |_| {}).unwrap();
+        assert_eq!(trace.checkpoint_every(), 1);
+    }
+
+    #[test]
+    fn snapshots_record_only_dirtied_pages() {
+        let p = chase();
+        let (_, trace) =
+            try_run_trace_checkpointed(&p, &TraceConfig::default(), 512, |_| {}).unwrap();
+        // The store walks 512 * 64 B = 32 KB = 8 pages total; no snapshot
+        // holds anywhere near the whole image.
+        for i in 0..trace.num_checkpoints() {
+            assert!(trace.checkpoint(i).page_bytes_held() <= 16 * MEM_PAGE_SIZE);
+        }
+    }
+}

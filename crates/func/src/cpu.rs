@@ -2,8 +2,8 @@
 
 use crate::{exec, ExecError};
 use preexec_isa::{Inst, Op, OpClass, Pc, Program, Reg};
-use preexec_mem::Memory;
 use preexec_isa::reg::NUM_REGS;
+use preexec_mem::MemBus;
 
 /// The architectural outcome of stepping one instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,7 +91,11 @@ impl Cpu {
     /// instead of panicking on a halted CPU or a malformed instruction.
     ///
     /// Memory operations read/write `mem` architecturally; the caller is
-    /// responsible for any cache classification (see the tracer).
+    /// responsible for any cache classification (see the tracer). The bus
+    /// is generic so the normal tracer (backed by [`preexec_mem::Memory`])
+    /// and the checkpoint replayer (backed by a copy-on-write overlay)
+    /// execute exactly the same interpreter — determinism of replay
+    /// cannot drift from the interpreter it replays.
     ///
     /// # Errors
     ///
@@ -100,7 +104,11 @@ impl Cpu {
     /// inconsistent with its opcode class (which cannot happen for
     /// instructions built through [`preexec_isa`]'s constructors, but can
     /// for hand-assembled or corrupted ones).
-    pub fn try_step(&mut self, program: &Program, mem: &mut Memory) -> Result<StepOutcome, ExecError> {
+    pub fn try_step<M: MemBus>(
+        &mut self,
+        program: &Program,
+        mem: &mut M,
+    ) -> Result<StepOutcome, ExecError> {
         if self.halted {
             return Err(ExecError::CpuHalted);
         }
@@ -200,7 +208,7 @@ impl Cpu {
     ///
     /// Panics if the CPU is already halted or the instruction is
     /// malformed.
-    pub fn step(&mut self, program: &Program, mem: &mut Memory) -> StepOutcome {
+    pub fn step<M: MemBus>(&mut self, program: &Program, mem: &mut M) -> StepOutcome {
         match self.try_step(program, mem) {
             Ok(out) => out,
             Err(e) => panic!("{e}"),
@@ -212,6 +220,7 @@ impl Cpu {
 mod tests {
     use super::*;
     use preexec_isa::assemble;
+    use preexec_mem::Memory;
 
     fn run(src: &str) -> (Cpu, Memory) {
         let p = assemble("t", src).unwrap();

@@ -21,20 +21,24 @@
 //! assert_eq!(stats.insts, 2 + 4 * 2 + 1); // setup + 4 iterations of 2 + halt
 //! ```
 
+pub mod checkpoint;
 pub mod cpu;
 pub mod dyninst;
 pub mod error;
 pub mod exec;
 pub mod pthread;
+pub mod replay;
 pub mod sampling;
 pub mod stats;
 pub mod stream;
 pub mod tracer;
 
+pub use checkpoint::{try_run_trace_checkpointed, Checkpoint, CheckpointTrace};
 pub use cpu::{Cpu, StepOutcome};
 pub use dyninst::DynInst;
 pub use error::ExecError;
 pub use pthread::{run_pthread, PThreadOutcome, PThreadRun, SquashReason, PTHREAD_ADDR_LIMIT};
+pub use replay::Replayer;
 pub use sampling::{Phase, Sampling};
 pub use stats::{LoadSiteStats, RunStats};
 pub use stream::{try_run_trace_chunked, StreamConfig, StreamStats};

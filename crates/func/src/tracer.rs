@@ -2,7 +2,7 @@
 
 use crate::{Cpu, DynInst, ExecError, Phase, RunStats, Sampling};
 use preexec_isa::{OpClass, Program};
-use preexec_mem::{FuncHierarchy, HierarchyConfig, Memory};
+use preexec_mem::{FuncHierarchy, HierarchyConfig, MemBus, Memory};
 
 /// Configuration for a trace run.
 #[derive(Debug, Clone, Copy)]
@@ -82,63 +82,101 @@ pub fn try_run_trace(
     config: &TraceConfig,
     mut sink: impl FnMut(&DynInst),
 ) -> Result<RunStats, ExecError> {
-    let mut cpu = Cpu::new(program);
     let mut mem = Memory::new();
     for seg in program.data_segments() {
         mem.write_slice(seg.base, &seg.bytes);
     }
-    let mut hierarchy = FuncHierarchy::new(config.hierarchy);
-    let mut stats = RunStats::new();
-    let mut emitted: u64 = 0;
+    let mut state = TraceState {
+        cpu: Cpu::new(program),
+        mem,
+        hierarchy: FuncHierarchy::new(config.hierarchy),
+        stats: RunStats::new(),
+        emitted: 0,
+    };
+    run_trace_loop(program, config, &mut state, |_| {}, |d| {
+        sink(d);
+        true
+    })?;
+    Ok(state.stats)
+}
 
-    while !cpu.halted() {
-        if stats.total_steps >= config.max_steps {
+/// The full mutable state of an in-flight trace run. One loop
+/// ([`run_trace_loop`]) drives every trace path — the plain tracer, the
+/// checkpoint recorder, and the checkpoint replayer — over this state, so
+/// a replay resumed from a snapshot of it is exact by construction.
+pub(crate) struct TraceState<M> {
+    pub cpu: Cpu,
+    pub mem: M,
+    pub hierarchy: FuncHierarchy,
+    pub stats: RunStats,
+    /// Measured ("on"-phase) instructions emitted so far — the `seq` of
+    /// the next emitted [`DynInst`].
+    pub emitted: u64,
+}
+
+/// The trace loop shared by tracing, checkpoint recording, and replay.
+///
+/// `at_loop_top` is called once per iteration before the step executes —
+/// the checkpoint recorder snapshots there, so a snapshot captures the
+/// state *before* the instruction whose `seq` equals the snapshot's
+/// `emitted`. `sink` receives every emitted instruction and returns
+/// whether to continue (replay stops at an interval boundary this way).
+pub(crate) fn run_trace_loop<M: MemBus>(
+    program: &Program,
+    config: &TraceConfig,
+    state: &mut TraceState<M>,
+    mut at_loop_top: impl FnMut(&mut TraceState<M>),
+    mut sink: impl FnMut(&DynInst) -> bool,
+) -> Result<(), ExecError> {
+    while !state.cpu.halted() {
+        if state.stats.total_steps >= config.max_steps {
             // Watchdog: the program did not halt within its step budget.
-            stats.timed_out = true;
+            state.stats.timed_out = true;
             break;
         }
         if let Some(cap) = config.max_emitted {
-            if emitted >= cap {
+            if state.emitted >= cap {
                 break;
             }
         }
-        let phase = config.sampling.phase(stats.total_steps);
-        let out = cpu.try_step(program, &mut mem)?;
-        stats.total_steps += 1;
+        at_loop_top(state);
+        let phase = config.sampling.phase(state.stats.total_steps);
+        let out = state.cpu.try_step(program, &mut state.mem)?;
+        state.stats.total_steps += 1;
         if phase == Phase::Off {
             continue;
         }
         // Warm and On both touch the caches.
         let level = out.addr.map(|a| {
             let is_write = out.inst.op.is_store();
-            hierarchy.access(a, is_write)
+            state.hierarchy.access(a, is_write)
         });
         if phase == Phase::Warm {
             continue;
         }
         // On: count and emit.
-        stats.insts += 1;
+        state.stats.insts += 1;
         match out.inst.class() {
             OpClass::Load => {
                 let level = level
                     .ok_or(ExecError::Malformed { pc: out.pc, reason: "load without address" })?;
-                stats.record_load(out.pc, level);
+                state.stats.record_load(out.pc, level);
             }
             OpClass::Store => {
                 let level = level
                     .ok_or(ExecError::Malformed { pc: out.pc, reason: "store without address" })?;
-                stats.record_store(level);
+                state.stats.record_store(level);
             }
             OpClass::Branch => {
-                stats.branches += 1;
+                state.stats.branches += 1;
                 if out.taken {
-                    stats.taken_branches += 1;
+                    state.stats.taken_branches += 1;
                 }
             }
             _ => {}
         }
         let d = DynInst {
-            seq: emitted,
+            seq: state.emitted,
             pc: out.pc,
             inst: out.inst,
             addr: out.addr,
@@ -146,10 +184,12 @@ pub fn try_run_trace(
             taken: out.taken,
             result: out.result,
         };
-        emitted += 1;
-        sink(&d);
+        state.emitted += 1;
+        if !sink(&d) {
+            break;
+        }
     }
-    Ok(stats)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -29,5 +29,5 @@ pub mod mshr;
 pub use bus::Bus;
 pub use cache::{AccessOutcome, Cache, CacheConfig};
 pub use hierarchy::{FuncHierarchy, HierarchyConfig, MemLevel};
-pub use memory::Memory;
+pub use memory::{MemBus, Memory, PAGE_SHIFT as MEM_PAGE_SHIFT, PAGE_SIZE as MEM_PAGE_SIZE};
 pub use mshr::MshrFile;

@@ -2,9 +2,61 @@
 
 use std::collections::HashMap;
 
-const PAGE_SHIFT: u32 = 12;
-const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+/// log2 of the page size used by [`Memory`] (and by the checkpoint layer,
+/// which snapshots dirty pages at this granularity).
+pub const PAGE_SHIFT: u32 = 12;
+/// Page size in bytes.
+pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE - 1) as u64;
+
+/// The architectural load/store interface the CPU steps against.
+///
+/// [`Memory`] is the concrete backing store for normal trace runs; the
+/// checkpoint/replay layer substitutes a copy-on-write overlay that
+/// resolves reads against recorded page snapshots. Every implementation
+/// must be little-endian and read zeros from untouched addresses so the
+/// interpreter semantics are identical whichever bus is plugged in.
+pub trait MemBus {
+    /// Reads one byte.
+    fn read_u8(&self, addr: u64) -> u8;
+    /// Reads a little-endian `u32`.
+    fn read_u32(&self, addr: u64) -> u32;
+    /// Reads a little-endian `u64`.
+    fn read_u64(&self, addr: u64) -> u64;
+    /// Writes one byte.
+    fn write_u8(&mut self, addr: u64, value: u8);
+    /// Writes a little-endian `u32`.
+    fn write_u32(&mut self, addr: u64, value: u32);
+    /// Writes a little-endian `u64`.
+    fn write_u64(&mut self, addr: u64, value: u64);
+}
+
+impl MemBus for Memory {
+    #[inline]
+    fn read_u8(&self, addr: u64) -> u8 {
+        Memory::read_u8(self, addr)
+    }
+    #[inline]
+    fn read_u32(&self, addr: u64) -> u32 {
+        Memory::read_u32(self, addr)
+    }
+    #[inline]
+    fn read_u64(&self, addr: u64) -> u64 {
+        Memory::read_u64(self, addr)
+    }
+    #[inline]
+    fn write_u8(&mut self, addr: u64, value: u8) {
+        Memory::write_u8(self, addr, value)
+    }
+    #[inline]
+    fn write_u32(&mut self, addr: u64, value: u32) {
+        Memory::write_u32(self, addr, value)
+    }
+    #[inline]
+    fn write_u64(&mut self, addr: u64, value: u64) {
+        Memory::write_u64(self, addr, value)
+    }
+}
 
 /// A sparse 64-bit byte-addressable memory.
 ///
@@ -119,6 +171,13 @@ impl Memory {
     /// Copies a byte slice into memory at `addr`.
     pub fn write_slice(&mut self, addr: u64, bytes: &[u8]) {
         self.write_bytes(addr, bytes);
+    }
+
+    /// The resident page with index `page` (`addr >> PAGE_SHIFT`), if any.
+    /// Non-resident pages read as zeros and return `None` here — the
+    /// checkpoint layer uses this to snapshot only dirtied pages.
+    pub fn page_bytes(&self, page: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&page).map(|p| &**p)
     }
 }
 

@@ -3,9 +3,9 @@
 //! reads the file and generates p-thread sets for several machine
 //! configurations quickly, without re-tracing.
 //!
-//! Usage: `toolflow [--jobs N] [--threads N] [--stream] [--no-screen] [--profile] [workload[,workload...]|all] [budget] [out.slices]`
+//! Usage: `toolflow [--jobs N] [--threads N] [--stream] [--slice-mode windowed|ondemand[:N]] [--no-screen] [--profile] [workload[,workload...]|all] [budget] [out.slices]`
 //!        `toolflow [--threads N] [--no-screen] [--profile] --read <file.slices>` (selection only, no re-tracing)
-//!        `toolflow --daemon HOST:PORT [workload[,workload...]|all] [budget]` (run via preexecd)
+//!        `toolflow --daemon HOST:PORT [--slice-mode ...] [workload[,workload...]|all] [budget]` (run via preexecd)
 //!
 //! With several workloads the runs are scheduled over `--jobs N` worker
 //! threads (default 1). Output is buffered per workload and printed in
@@ -26,6 +26,17 @@
 //! O(window + chunk) instead of O(trace). stdout (slice files and
 //! selections) is byte-identical with and without the flag — the CI
 //! determinism matrix diffs the two.
+//!
+//! `--slice-mode ondemand[:N]` traces through the checkpoint-based
+//! re-execution path: the trace pass records a checkpoint every N
+//! emitted instructions (default 4096) and keeps no slicing window;
+//! each slice is reconstructed later by replaying bounded intervals
+//! from the nearest checkpoint, so peak slicing memory is
+//! O(checkpoints + N) regardless of scope. stdout is byte-identical
+//! with `--slice-mode windowed` (the default) — the CI determinism
+//! matrix diffs the two. With `--daemon` the mode travels in the
+//! submit batch as the protocol's `slice_mode`/`checkpoint_every`
+//! fields.
 //!
 //! `--no-screen` disables the static ADVagg screening pre-pass of the
 //! selection stage and scores every candidate exactly. The screen is
@@ -70,7 +81,7 @@
 //! failing job's code (5 for pipeline faults and panics) wins.
 
 use preexec_core::{try_select_pthreads_stats, Parallelism, SelectionParams};
-use preexec_experiments::Pipeline;
+use preexec_experiments::{Pipeline, SlicingMode, DEFAULT_CHECKPOINT_EVERY};
 use preexec_serve::json::Json;
 use preexec_serve::retry::{retry_with_backoff, Backoff};
 use preexec_serve::scheduler::{JobCompletion, Scheduler};
@@ -121,6 +132,7 @@ fn run(args: &[String]) -> Result<u8, Failure> {
     let mut profile = false;
     let mut stream = false;
     let mut screening = true;
+    let mut slicing = SlicingMode::Windowed;
     let mut daemon: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
@@ -129,6 +141,12 @@ fn run(args: &[String]) -> Result<u8, Failure> {
             "--profile" => profile = true,
             "--stream" => stream = true,
             "--no-screen" => screening = false,
+            "--slice-mode" => {
+                let v = it.next().ok_or_else(|| {
+                    Failure::new(2, "--slice-mode needs windowed or ondemand[:N]")
+                })?;
+                slicing = parse_slice_mode(v)?;
+            }
             "--daemon" => {
                 let v = it
                     .next()
@@ -214,7 +232,7 @@ fn run(args: &[String]) -> Result<u8, Failure> {
         if positional.get(2).is_some() {
             return Err(Failure::new(2, "an output path does not apply with --daemon"));
         }
-        let code = run_daemon(&addr, &selected, budget)?;
+        let code = run_daemon(&addr, &selected, budget, slicing)?;
         return Ok(code);
     }
 
@@ -237,7 +255,7 @@ fn run(args: &[String]) -> Result<u8, Failure> {
                 let par = Parallelism::new(threads);
                 Box::new(move |_id| {
                     JobCompletion::Done(run_workload(
-                        &name, &program, budget, &path, par, stream, screening,
+                        &name, &program, budget, &path, par, stream, slicing, screening,
                     ))
                 })
             };
@@ -282,6 +300,26 @@ fn run(args: &[String]) -> Result<u8, Failure> {
     Ok(first_bad)
 }
 
+/// Parses a `--slice-mode` value: `windowed`, `ondemand`, or
+/// `ondemand:N` (checkpoint cadence; 0 means the default).
+fn parse_slice_mode(v: &str) -> Result<SlicingMode, Failure> {
+    if v == "windowed" {
+        return Ok(SlicingMode::Windowed);
+    }
+    if v == "ondemand" {
+        return Ok(SlicingMode::OnDemand { checkpoint_every: DEFAULT_CHECKPOINT_EVERY });
+    }
+    if let Some(n) = v.strip_prefix("ondemand:") {
+        let every: u64 = n
+            .parse()
+            .map_err(|_| Failure::new(2, format!("bad checkpoint cadence `{n}`")))?;
+        return Ok(SlicingMode::OnDemand {
+            checkpoint_every: if every == 0 { DEFAULT_CHECKPOINT_EVERY } else { every },
+        });
+    }
+    Err(Failure::new(2, format!("bad slice mode `{v}` (windowed or ondemand[:N])")))
+}
+
 /// One connection to a preexecd, with the line-oriented request/response
 /// helper daemon mode needs. Requests carry no `id`: this client reads
 /// each response before writing the next request, so ordering alone
@@ -324,7 +362,12 @@ impl DaemonConn {
 /// with jittered backoff while the daemon sheds it as `overloaded`),
 /// then status polls and `result` fetches, reported in submission order
 /// under the local exit-code contract.
-fn run_daemon(addr: &str, selected: &[&Workload], budget: u64) -> Result<u8, Failure> {
+fn run_daemon(
+    addr: &str,
+    selected: &[&Workload],
+    budget: u64,
+    slicing: SlicingMode,
+) -> Result<u8, Failure> {
     let mut conn = DaemonConn::connect(addr)?;
     let submit = Json::obj(vec![
         ("cmd", Json::str("submit_batch")),
@@ -334,10 +377,15 @@ fn run_daemon(addr: &str, selected: &[&Workload], budget: u64) -> Result<u8, Fai
                 selected
                     .iter()
                     .map(|w| {
-                        Json::obj(vec![
+                        let mut fields = vec![
                             ("workload", Json::str(w.name)),
                             ("budget", Json::num_u64(budget)),
-                        ])
+                        ];
+                        if let SlicingMode::OnDemand { checkpoint_every } = slicing {
+                            fields.push(("slice_mode", Json::str("ondemand")));
+                            fields.push(("checkpoint_every", Json::num_u64(checkpoint_every)));
+                        }
+                        Json::obj(fields)
                     })
                     .collect(),
             ),
@@ -502,14 +550,21 @@ fn run_workload(
     path: &str,
     par: Parallelism,
     stream: bool,
+    slicing: SlicingMode,
     screening: bool,
 ) -> JobReport {
     let mut report = JobReport::default();
     // Pass 1 (expensive, once): trace and slice, write the file. The
     // builder defaults match the paper toolflow (scope 1024, slice len
-    // 32); `--stream` swaps in the bounded-memory transport with a
-    // byte-identical forest.
-    let arts = match Pipeline::new(program).budget(budget).parallelism(par).streaming(stream).trace()
+    // 32); `--stream` swaps in the bounded-memory transport and
+    // `--slice-mode ondemand` the checkpointed re-execution path, both
+    // with byte-identical forests.
+    let arts = match Pipeline::new(program)
+        .budget(budget)
+        .parallelism(par)
+        .streaming(stream)
+        .slicing_mode(slicing)
+        .trace()
     {
         Ok(x) => x,
         Err(e) => {

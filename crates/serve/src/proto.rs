@@ -9,7 +9,7 @@
 //!
 //! | `cmd` | fields | response payload |
 //! |-------|--------|------------------|
-//! | `submit` | `workload` (required), `input`, `budget`, `warmup`, `scope`, `max_slice_len`, `max_pthread_len`, `optimize`, `merge`, `width`, `mem_latency`, `model_miss_latency`, `model_width`, `deadline_ms` | `job` id |
+//! | `submit` | `workload` (required), `input`, `budget`, `warmup`, `scope`, `max_slice_len`, `max_pthread_len`, `optimize`, `merge`, `width`, `mem_latency`, `model_miss_latency`, `model_width`, `slice_mode` (`"windowed"`/`"ondemand"`), `checkpoint_every`, `deadline_ms` | `job` id |
 //! | `submit_batch` | `jobs`: a non-empty array of submit objects | `jobs`: array of ids, in order |
 //! | `status` | `job` | `state` (+ `error` when failed) |
 //! | `result` | `job` | `state`, `cache_hit`, `result{...}` |
@@ -43,7 +43,7 @@ use crate::json::Json;
 use crate::scheduler::{JobId, SubmitError};
 use crate::service::{JobOutput, JobSpec};
 use preexec_experiments::pipeline::pct;
-use preexec_experiments::{PipelineConfig, PipelineError};
+use preexec_experiments::{PipelineConfig, PipelineError, SlicingMode, DEFAULT_CHECKPOINT_EVERY};
 use preexec_workloads::InputSet;
 use std::fmt;
 
@@ -54,8 +54,21 @@ use std::fmt;
 /// `overloaded` rejection with `retry_after_ms`, and the drain counts in
 /// the `shutdown` response; version 4 added request-`id` echo
 /// (pipelining), the `submit_batch` verb, and the `cache_get`/
-/// `cache_put` shard-peer verbs.
-pub const PROTOCOL_VERSION: u64 = 4;
+/// `cache_put` shard-peer verbs; version 5 added the `slice_mode` /
+/// `checkpoint_every` submit fields and the `config.scope_too_large`
+/// admission rejection for scopes past the per-mode caps.
+pub const PROTOCOL_VERSION: u64 = 5;
+
+/// Largest slicing scope admitted in `"windowed"` mode: the sliding
+/// window keeps the whole scope resident, so past this the daemon would
+/// commit to gigabytes of window for one job. Larger scopes must opt
+/// into `"ondemand"` slicing, whose residency is checkpoint-bounded.
+pub const MAX_WINDOWED_SCOPE: u64 = 1 << 24;
+
+/// Largest slicing scope admitted at all (`"ondemand"` mode). Beyond
+/// this even sequence-number bookkeeping is outside anything the trace
+/// budget could produce — such a request is a typo, not a plan.
+pub const MAX_SCOPE: u64 = 1 << 32;
 
 /// A protocol-level failure: why a request line could not be parsed or
 /// served. [`code`](ProtoError::code) is the stable contract; the
@@ -105,6 +118,20 @@ pub enum ProtoError {
     /// A `cache_put` payload failed validation (corrupt slice text or
     /// unparseable stats) — the shard peer refused to persist it.
     ShardPayload(&'static str),
+    /// The submitted slicing scope exceeds the admission cap for the
+    /// requested slice mode ([`MAX_WINDOWED_SCOPE`] windowed,
+    /// [`MAX_SCOPE`] on-demand). Rejected at the door: a windowed job
+    /// with an absurd scope would eagerly commit the daemon to an
+    /// unserviceable resident window.
+    ScopeTooLarge {
+        /// The requested scope.
+        scope: u64,
+        /// The cap it exceeded.
+        cap: u64,
+        /// The slice mode the cap belongs to (`"windowed"` or
+        /// `"ondemand"`).
+        mode: &'static str,
+    },
 }
 
 impl ProtoError {
@@ -129,6 +156,7 @@ impl ProtoError {
             // needs no new branches for batches.
             ProtoError::BatchJob { inner, .. } => inner.code(),
             ProtoError::ShardPayload(_) => "shard.bad_payload",
+            ProtoError::ScopeTooLarge { .. } => "config.scope_too_large",
         }
     }
 }
@@ -160,6 +188,13 @@ impl fmt::Display for ProtoError {
             }
             ProtoError::ShardPayload(why) => {
                 write!(f, "shard peer rejected the cache payload: {why}")
+            }
+            ProtoError::ScopeTooLarge { scope, cap, mode } => {
+                write!(f, "scope {scope} exceeds the {mode} admission cap {cap}")?;
+                if *mode == "windowed" {
+                    write!(f, "; use slice_mode \"ondemand\" for scopes past window residency")?;
+                }
+                Ok(())
             }
         }
     }
@@ -410,10 +445,47 @@ pub(crate) fn parse_submit(json: &Json) -> Result<JobSpec, ProtoError> {
     // Reject bad configurations at the door: a queued job that can only
     // fail wastes a worker slot and hides the mistake from the client.
     cfg.try_validate().map_err(ProtoError::Config)?;
+    let slice_mode = parse_slice_mode(json)?;
+    check_scope_cap(cfg.scope as u64, slice_mode)?;
     let mut spec =
         JobSpec::new(workload, input, cfg).map_err(ProtoError::UnknownWorkload)?;
+    spec.slice_mode = slice_mode;
     spec.deadline_ms = opt_u64(json, "deadline_ms")?;
     Ok(spec)
+}
+
+/// Parses the optional `slice_mode` (`"windowed"` default, or
+/// `"ondemand"`) and `checkpoint_every` submit fields.
+fn parse_slice_mode(json: &Json) -> Result<SlicingMode, ProtoError> {
+    let expected = r#""windowed" or "ondemand""#;
+    let name = match json.get("slice_mode") {
+        None | Some(Json::Null) => return Ok(SlicingMode::Windowed),
+        Some(v) => v
+            .as_str()
+            .ok_or(ProtoError::BadField { field: "slice_mode", expected })?,
+    };
+    match name {
+        "windowed" => Ok(SlicingMode::Windowed),
+        "ondemand" => Ok(SlicingMode::OnDemand {
+            checkpoint_every: opt_u64(json, "checkpoint_every")?
+                .unwrap_or(DEFAULT_CHECKPOINT_EVERY)
+                .max(1),
+        }),
+        _ => Err(ProtoError::BadField { field: "slice_mode", expected }),
+    }
+}
+
+/// The per-mode scope admission gate (see [`MAX_WINDOWED_SCOPE`] /
+/// [`MAX_SCOPE`]).
+fn check_scope_cap(scope: u64, mode: SlicingMode) -> Result<(), ProtoError> {
+    let (cap, name) = match mode {
+        SlicingMode::Windowed => (MAX_WINDOWED_SCOPE, "windowed"),
+        SlicingMode::OnDemand { .. } => (MAX_SCOPE, "ondemand"),
+    };
+    if scope > cap {
+        return Err(ProtoError::ScopeTooLarge { scope, cap, mode: name });
+    }
+    Ok(())
 }
 
 /// Serializes a [`JobSpec`] back into the submit-object shape
@@ -440,6 +512,13 @@ pub fn spec_json(spec: &JobSpec) -> Json {
     }
     if let Some(x) = cfg.model_width {
         fields.push(("model_width", Json::Num(x)));
+    }
+    match spec.slice_mode {
+        SlicingMode::Windowed => fields.push(("slice_mode", Json::str("windowed"))),
+        SlicingMode::OnDemand { checkpoint_every } => {
+            fields.push(("slice_mode", Json::str("ondemand")));
+            fields.push(("checkpoint_every", Json::num_u64(checkpoint_every)));
+        }
     }
     if let Some(ms) = spec.deadline_ms {
         fields.push(("deadline_ms", Json::num_u64(ms)));
@@ -743,6 +822,103 @@ mod tests {
             assert_eq!(e.code(), "bad_field", "`{line}`");
         }
         assert_eq!(ProtoError::ShardPayload("corrupt").code(), "shard.bad_payload");
+    }
+
+    #[test]
+    fn slice_mode_parses_defaults_and_rejects_junk() {
+        // Absent (or null) → windowed.
+        for line in [
+            r#"{"cmd":"submit","workload":"mcf"}"#,
+            r#"{"cmd":"submit","workload":"mcf","slice_mode":null}"#,
+            r#"{"cmd":"submit","workload":"mcf","slice_mode":"windowed"}"#,
+        ] {
+            let Ok(Request::Submit(spec)) = parse_request(line) else {
+                panic!("`{line}` must parse");
+            };
+            assert_eq!(spec.slice_mode, SlicingMode::Windowed, "{line}");
+        }
+        // On-demand defaults its cadence; an explicit one sticks, and a
+        // zero cadence is clamped to 1 at the door.
+        let Ok(Request::Submit(spec)) =
+            parse_request(r#"{"cmd":"submit","workload":"mcf","slice_mode":"ondemand"}"#)
+        else {
+            panic!("ondemand must parse");
+        };
+        assert_eq!(
+            spec.slice_mode,
+            SlicingMode::OnDemand { checkpoint_every: DEFAULT_CHECKPOINT_EVERY }
+        );
+        let Ok(Request::Submit(spec)) = parse_request(
+            r#"{"cmd":"submit","workload":"mcf","slice_mode":"ondemand","checkpoint_every":512}"#,
+        ) else {
+            panic!("explicit cadence must parse");
+        };
+        assert_eq!(spec.slice_mode, SlicingMode::OnDemand { checkpoint_every: 512 });
+        let Ok(Request::Submit(spec)) = parse_request(
+            r#"{"cmd":"submit","workload":"mcf","slice_mode":"ondemand","checkpoint_every":0}"#,
+        ) else {
+            panic!("zero cadence must parse");
+        };
+        assert_eq!(spec.slice_mode, SlicingMode::OnDemand { checkpoint_every: 1 });
+        // Junk modes are typed field errors.
+        for line in [
+            r#"{"cmd":"submit","workload":"mcf","slice_mode":"turbo"}"#,
+            r#"{"cmd":"submit","workload":"mcf","slice_mode":7}"#,
+        ] {
+            let Err(e) = parse_request(line) else { panic!("`{line}` must be rejected") };
+            assert_eq!(e.code(), "bad_field", "`{line}`");
+            assert!(e.to_string().contains("slice_mode"), "`{line}` → {e}");
+        }
+    }
+
+    #[test]
+    fn absurd_scopes_are_rejected_at_admission_per_mode() {
+        // Past the windowed cap: rejected with the stable code and a
+        // hint pointing at on-demand slicing.
+        let over_windowed = (MAX_WINDOWED_SCOPE + 1).to_string();
+        let line = format!(
+            r#"{{"cmd":"submit","workload":"mcf","scope":{over_windowed}}}"#
+        );
+        let Err(e) = parse_request(&line) else { panic!("absurd windowed scope must be shed") };
+        assert_eq!(e.code(), "config.scope_too_large");
+        assert!(e.to_string().contains("ondemand"), "{e}");
+        // The same scope under on-demand slicing is admitted…
+        let line = format!(
+            r#"{{"cmd":"submit","workload":"mcf","scope":{over_windowed},"slice_mode":"ondemand"}}"#
+        );
+        assert!(matches!(parse_request(&line), Ok(Request::Submit(_))));
+        // …but even on-demand has a ceiling.
+        let over_all = (MAX_SCOPE + 1).to_string();
+        let line = format!(
+            r#"{{"cmd":"submit","workload":"mcf","scope":{over_all},"slice_mode":"ondemand"}}"#
+        );
+        let Err(e) = parse_request(&line) else { panic!("absurd ondemand scope must be shed") };
+        assert_eq!(e.code(), "config.scope_too_large");
+        // Scopes at the cap pass.
+        let at_cap = MAX_WINDOWED_SCOPE.to_string();
+        let line = format!(r#"{{"cmd":"submit","workload":"mcf","scope":{at_cap}}}"#);
+        assert!(matches!(parse_request(&line), Ok(Request::Submit(_))));
+        // A batch inherits the code, naming the offending index.
+        let line = format!(
+            r#"{{"cmd":"submit_batch","jobs":[{{"workload":"vpr.r"}},{{"workload":"mcf","scope":{over_windowed}}}]}}"#
+        );
+        let Err(e) = parse_request(&line) else { panic!("batch with absurd scope must be shed") };
+        assert_eq!(e.code(), "config.scope_too_large");
+        assert!(e.to_string().contains("batch job #1"), "{e}");
+    }
+
+    #[test]
+    fn ondemand_spec_json_round_trips() {
+        let line = r#"{"cmd":"submit","workload":"mcf","scope":100000000,
+            "slice_mode":"ondemand","checkpoint_every":2048}"#;
+        let Ok(Request::Submit(spec)) = parse_request(line) else {
+            panic!("parses");
+        };
+        let encoded = spec_json(&spec);
+        let back = parse_submit(&encoded).expect("round-trip parses");
+        assert_eq!(back.slice_mode, SlicingMode::OnDemand { checkpoint_every: 2048 });
+        assert_eq!(back.cfg.scope, 100_000_000);
+        assert_eq!(spec_json(&back).encode(), encoded.encode());
     }
 
     #[test]

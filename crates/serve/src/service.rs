@@ -21,7 +21,7 @@ use crate::shard::ShardedCache;
 use crate::histogram::{histogram_json, Histogram};
 use crate::scheduler::JobCompletion;
 use preexec_core::par::{ParStats, Parallelism};
-use preexec_experiments::{Pipeline, PipelineConfig, PipelineError, PipelineResult};
+use preexec_experiments::{Pipeline, PipelineConfig, PipelineError, PipelineResult, SlicingMode};
 use preexec_workloads::{by_name, InputSet, Workload};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -38,6 +38,10 @@ pub struct JobSpec {
     pub input: InputSet,
     /// Full pipeline configuration (machine, model, budgets).
     pub cfg: PipelineConfig,
+    /// How the trace stage extracts slices (windowed default). Not part
+    /// of the artifact-cache key: both modes produce bit-identical
+    /// forests, so a hit under either mode serves the other.
+    pub slice_mode: SlicingMode,
     /// Optional wall-clock deadline: the job is cancelled at the first
     /// stage boundary past this many milliseconds after admission (after
     /// a crash, after *re*-admission — see [`CancelToken`]).
@@ -62,6 +66,7 @@ impl JobSpec {
                 workload,
                 input,
                 cfg,
+                slice_mode: SlicingMode::Windowed,
                 deadline_ms: None,
             }),
             None => {
@@ -307,7 +312,10 @@ pub fn run_job(
     let program = spec.workload.build(spec.input);
     let key = spec.trace_key();
 
-    let mut pipe = Pipeline::new(&program).config(spec.cfg).parallelism(par);
+    let mut pipe = Pipeline::new(&program)
+        .config(spec.cfg)
+        .parallelism(par)
+        .slicing_mode(spec.slice_mode);
     // One gate serves both masters: the chaos harness's slow-stage
     // injector (inert without a plan) and the cancellation token.
     let gate_fn = move |stage: &'static str| {

@@ -1,6 +1,7 @@
 //! Typed errors for the slicing layer.
 
 use crate::io::ParseForestError;
+use preexec_func::ExecError;
 use preexec_isa::Pc;
 use std::error::Error;
 use std::fmt;
@@ -30,6 +31,10 @@ pub enum SliceError {
         /// Node id of the trigger within its slice tree.
         node: usize,
     },
+    /// An on-demand slice re-execution faulted. Possible only if the
+    /// recording run itself would have faulted — the replayer executes
+    /// the identical instruction stream.
+    Replay(ExecError),
 }
 
 impl fmt::Display for SliceError {
@@ -43,6 +48,7 @@ impl fmt::Display for SliceError {
                 f,
                 "non-finite advantage for the candidate triggered at pc {pc} (slice-tree node {node})"
             ),
+            SliceError::Replay(e) => write!(f, "slice re-execution faulted: {e}"),
         }
     }
 }
@@ -51,8 +57,15 @@ impl Error for SliceError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SliceError::Parse(e) => Some(e),
+            SliceError::Replay(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ExecError> for SliceError {
+    fn from(e: ExecError) -> SliceError {
+        SliceError::Replay(e)
     }
 }
 
@@ -75,5 +88,7 @@ mod tests {
         assert!(SliceError::from(p).to_string().contains("line 7"));
         let s = SliceError::NonFiniteScore { pc: 42, node: 3 }.to_string();
         assert!(s.contains("non-finite") && s.contains("42") && s.contains("3"));
+        let r = SliceError::Replay(ExecError::CpuHalted).to_string();
+        assert!(r.contains("re-execution") && r.contains("halted"));
     }
 }

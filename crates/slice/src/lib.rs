@@ -46,11 +46,13 @@
 pub mod error;
 pub mod forest;
 pub mod io;
+pub mod ondemand;
 pub mod tree;
 pub mod window;
 
 pub use error::SliceError;
 pub use forest::{DeferredForest, PendingTree, SliceForest, SliceForestBuilder};
 pub use io::{read_forest, read_forest_lenient, write_forest, ParseForestError, RecoveredForest};
+pub use ondemand::OnDemandSlicer;
 pub use tree::{NodeId, SliceNode, SliceTree};
 pub use window::{SliceEntry, SliceWindow};

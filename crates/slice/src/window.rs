@@ -43,12 +43,121 @@ struct WindowEntry {
 /// Memory dependences are tracked at 8-byte-granule granularity: precise
 /// enough for the framework (whose store-load pairs are word/doubleword
 /// scalar round-trips) and compact enough to track a whole working set.
-const GRANULE_SHIFT: u32 = 3;
+/// Shared with the on-demand slicer, whose interval summaries must use
+/// the same granularity to resolve the same dependences.
+pub(crate) const GRANULE_SHIFT: u32 = 3;
 
-fn granules(addr: u64, width: u8) -> impl Iterator<Item = u64> {
+pub(crate) fn granules(addr: u64, width: u8) -> impl Iterator<Item = u64> {
     let first = addr >> GRANULE_SHIFT;
     let last = (addr + width as u64 - 1) >> GRANULE_SHIFT;
     first..=last
+}
+
+/// Cap on the ring buffer's *eager* allocation. Scopes up to this size
+/// pre-allocate in full (the common case — the paper's default is 1024);
+/// larger scopes grow on demand, so a huge scope in a remote job spec
+/// costs memory proportional to instructions actually observed, not to
+/// the requested scope.
+const MAX_EAGER_RING_CAPACITY: usize = 1 << 16;
+
+/// One instruction's dependence record as the slice traversal sees it —
+/// the common currency of the windowed and on-demand extractors.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EntryView {
+    pub pc: Pc,
+    pub inst: Inst,
+    /// Sequence numbers of the producers of each register source.
+    pub reg_deps: [Option<u64>; 2],
+    /// For loads: sequence number of the store that produced the value.
+    pub mem_dep: Option<u64>,
+}
+
+/// The backward-slice traversal shared by [`SliceWindow::try_slice_latest`]
+/// and the on-demand slicer: both provide dependence records through
+/// `entry`, so a slice of the same root over the same dependences is
+/// byte-identical whichever extractor produced it — by construction, not
+/// by two traversals kept in sync.
+///
+/// `entry` is consulted once per visited sequence number; dependences
+/// older than `min_seq` (out of scope) are never followed, so `entry` may
+/// report them as `None` or as their true (sub-`min_seq`) value
+/// interchangeably.
+pub(crate) fn slice_from(
+    root_seq: u64,
+    min_seq: u64,
+    max_len: usize,
+    mut entry: impl FnMut(u64) -> Result<EntryView, SliceError>,
+) -> Result<Vec<SliceEntry>, SliceError> {
+    // Max-heap worklist: process candidates in descending seq order so
+    // that a truncated slice keeps the instructions nearest the root.
+    let mut heap: BinaryHeap<u64> = BinaryHeap::new();
+    let mut included: HashMap<u64, u32> = HashMap::new(); // seq -> position
+    let mut views: HashMap<u64, EntryView> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+
+    let mut fetch = |seq: u64, views: &mut HashMap<u64, EntryView>| -> Result<EntryView, SliceError> {
+        if let Some(v) = views.get(&seq) {
+            return Ok(*v);
+        }
+        let v = entry(seq)?;
+        views.insert(seq, v);
+        Ok(v)
+    };
+
+    let root = fetch(root_seq, &mut views)?;
+    included.insert(root_seq, 0);
+    order.push(root_seq);
+    for dep in root.reg_deps.into_iter().flatten() {
+        if dep >= min_seq {
+            heap.push(dep);
+        }
+    }
+
+    while let Some(seq) = heap.pop() {
+        if order.len() >= max_len {
+            break;
+        }
+        match included.entry(seq) {
+            Entry::Occupied(_) => continue,
+            Entry::Vacant(v) => v.insert(order.len() as u32),
+        };
+        order.push(seq);
+        let e = fetch(seq, &mut views)?;
+        for dep in e.reg_deps.into_iter().flatten() {
+            if dep >= min_seq && !included.contains_key(&dep) {
+                heap.push(dep);
+            }
+        }
+        if e.inst.op.is_load() {
+            if let Some(dep) = e.mem_dep {
+                if dep >= min_seq && !included.contains_key(&dep) {
+                    heap.push(dep);
+                }
+            }
+        }
+    }
+
+    // Build entries with intra-slice dependence positions.
+    Ok(order
+        .iter()
+        .map(|&seq| {
+            let e = views.get(&seq).expect("visited seq has a cached view");
+            let mut dep_positions: Vec<u32> = e
+                .reg_deps
+                .into_iter()
+                .flatten()
+                .chain(if e.inst.op.is_load() && seq != root_seq {
+                    e.mem_dep
+                } else {
+                    None
+                })
+                .filter_map(|dep| included.get(&dep).copied())
+                .collect();
+            dep_positions.sort_unstable();
+            dep_positions.dedup();
+            SliceEntry { pc: e.pc, inst: e.inst, dist: root_seq - seq, dep_positions }
+        })
+        .collect())
 }
 
 /// A ring buffer of the last *scope* dynamic instructions, with register
@@ -77,7 +186,7 @@ impl SliceWindow {
         }
         Ok(SliceWindow {
             scope,
-            ring: VecDeque::with_capacity(scope),
+            ring: VecDeque::with_capacity(scope.min(MAX_EAGER_RING_CAPACITY)),
             reg_writer: [None; NUM_REGS],
             mem_writer: HashMap::new(),
             observed: 0,
@@ -201,71 +310,10 @@ impl SliceWindow {
         let root = self.ring.back().ok_or(SliceError::EmptyWindow)?;
         let root_seq = root.seq;
         let min_seq = self.min_seq();
-
-        // Max-heap worklist: process candidates in descending seq order so
-        // that a truncated slice keeps the instructions nearest the root.
-        let mut heap: BinaryHeap<u64> = BinaryHeap::new();
-        let mut included: HashMap<u64, u32> = HashMap::new(); // seq -> position
-        let mut order: Vec<u64> = Vec::new();
-
-        included.insert(root_seq, 0);
-        order.push(root_seq);
-        for dep in root.reg_deps.into_iter().flatten() {
-            if dep >= min_seq {
-                heap.push(dep);
-            }
-        }
-
-        while let Some(seq) = heap.pop() {
-            if order.len() >= max_len {
-                break;
-            }
-            let pos = match included.entry(seq) {
-                Entry::Occupied(_) => continue,
-                Entry::Vacant(v) => {
-                    let pos = order.len() as u32;
-                    v.insert(pos);
-                    pos
-                }
-            };
-            let _ = pos;
-            order.push(seq);
-            let e = self.entry(seq).expect("worklist seq within window");
-            for dep in e.reg_deps.into_iter().flatten() {
-                if dep >= min_seq && !included.contains_key(&dep) {
-                    heap.push(dep);
-                }
-            }
-            if e.inst.op.is_load() {
-                if let Some(dep) = e.mem_dep {
-                    if dep >= min_seq && !included.contains_key(&dep) {
-                        heap.push(dep);
-                    }
-                }
-            }
-        }
-
-        // Build entries with intra-slice dependence positions.
-        Ok(order
-            .iter()
-            .map(|&seq| {
-                let e = self.entry(seq).expect("slice seq within window");
-                let mut dep_positions: Vec<u32> = e
-                    .reg_deps
-                    .into_iter()
-                    .flatten()
-                    .chain(if e.inst.op.is_load() && seq != root_seq {
-                        e.mem_dep
-                    } else {
-                        None
-                    })
-                    .filter_map(|dep| included.get(&dep).copied())
-                    .collect();
-                dep_positions.sort_unstable();
-                dep_positions.dedup();
-                SliceEntry { pc: e.pc, inst: e.inst, dist: root_seq - seq, dep_positions }
-            })
-            .collect())
+        slice_from(root_seq, min_seq, max_len, |seq| {
+            let e = self.entry(seq).expect("slice seq within window");
+            Ok(EntryView { pc: e.pc, inst: e.inst, reg_deps: e.reg_deps, mem_dep: e.mem_dep })
+        })
     }
 }
 
