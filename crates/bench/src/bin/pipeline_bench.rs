@@ -21,7 +21,12 @@
 //! - `BENCH_reexec.json`: the on-demand re-execution slicing leg —
 //!   windowed versus checkpointed trace wall clock, the checkpoint and
 //!   re-executed-instruction counts, the peak resident detail
-//!   high-water mark, and the ondemand-vs-windowed bit-identity verdict.
+//!   high-water mark, and the ondemand-vs-windowed bit-identity verdict;
+//! - `BENCH_adaptive.json`: the phase-adaptive selection leg — the full
+//!   adaptive pipeline's wall clock, the per-phase policy choices and
+//!   payoffs, the static-vs-adaptive p-thread counts, the serial-vs-N
+//!   bit-identity verdict, and the global-forest identity with the
+//!   windowed batch leg.
 //!
 //! Every timed stage leg (trace serial/parallel/streaming/on-demand and
 //! the finish stages behind the select timings) is best-of-5 — single
@@ -34,20 +39,23 @@
 //!
 //! Usage: `pipeline-bench [--workload NAME] [--budget B] [--threads N]
 //!         [--out PATH] [--stream-out PATH] [--score-out PATH]
-//!         [--reexec-out PATH] [--check]`
+//!         [--reexec-out PATH] [--adaptive-out PATH] [--check]`
 //!
 //! Defaults: `vpr.r`, 60 000 instructions, one thread per core,
 //! `BENCH_pipeline.json`, `BENCH_stream.json`, `BENCH_score.json`,
-//! `BENCH_reexec.json`. Exit codes: 0 success, 2 usage error — or, under
-//! `--check`, a screened score stage slower than the exact one (a
-//! screening perf regression) or an on-demand peak residency at or above
-//! the configured scope (the bounded-memory contract) — and 1 pipeline
-//! or I/O failure (including any leg mismatch, which would mean a
-//! determinism bug).
+//! `BENCH_reexec.json`, `BENCH_adaptive.json`. Exit codes: 0 success, 2
+//! usage error — or, under `--check`, a screened score stage slower than
+//! the exact one (a screening perf regression), an on-demand peak
+//! residency at or above the configured scope (the bounded-memory
+//! contract), or an adaptive payoff below the static payoff (the
+//! chooser's ties-keep-static contract) — and 1 pipeline or I/O failure
+//! (including any leg mismatch, which would mean a determinism bug).
 
 use preexec_bench::build;
 use preexec_core::{try_select_pthreads_stats, ScreenStats, Selection, SelectionParams};
-use preexec_experiments::{ParStats, Parallelism, Pipeline, PipelineConfig, SlicingMode};
+use preexec_experiments::{
+    AdaptiveConfig, ParStats, Parallelism, Pipeline, PipelineConfig, PolicySpec, SlicingMode,
+};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -64,6 +72,7 @@ struct Args {
     stream_out: String,
     score_out: String,
     reexec_out: String,
+    adaptive_out: String,
     check: bool,
 }
 
@@ -77,6 +86,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         stream_out: "BENCH_stream.json".to_string(),
         score_out: "BENCH_score.json".to_string(),
         reexec_out: "BENCH_reexec.json".to_string(),
+        adaptive_out: "BENCH_adaptive.json".to_string(),
         check: false,
     };
     let mut it = argv.iter();
@@ -102,6 +112,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--stream-out" => args.stream_out = value("--stream-out")?,
             "--score-out" => args.score_out = value("--score-out")?,
             "--reexec-out" => args.reexec_out = value("--reexec-out")?,
+            "--adaptive-out" => args.adaptive_out = value("--adaptive-out")?,
             "--check" => args.check = true,
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -286,10 +297,10 @@ fn run(args: &Args) -> Result<u8, String> {
 
     // The streaming leg: bounded-memory transport, producer/consumer
     // overlap instead of the deferred tree fan-out.
+    let stream_spec = PolicySpec { cfg, streaming: true, ..PolicySpec::default() };
     let (stream_us, arts_stream) = best_of_us(|| {
         Pipeline::new(&program)
-            .config(cfg)
-            .streaming(true)
+            .policy(stream_spec)
             .trace()
             .map_err(|e| format!("streaming trace: {e}"))
     })?;
@@ -308,10 +319,14 @@ fn run(args: &Args) -> Result<u8, String> {
     let checkpoint_every = (cfg.scope as u64 / 8).max(1);
     let ckpt0 = counter_val("checkpoint.count");
     let reexec0 = counter_val("reexec.insts");
+    let reexec_spec = PolicySpec {
+        cfg,
+        slicing: SlicingMode::OnDemand { checkpoint_every },
+        ..PolicySpec::default()
+    };
     let (reexec_us, arts_reexec) = best_of_us(|| {
         Pipeline::new(&program)
-            .config(cfg)
-            .slicing_mode(SlicingMode::OnDemand { checkpoint_every })
+            .policy(reexec_spec)
             .trace()
             .map_err(|e| format!("on-demand trace: {e}"))
     })?;
@@ -514,6 +529,80 @@ fn run(args: &Args) -> Result<u8, String> {
     std::fs::write(&args.reexec_out, &rjson)
         .map_err(|e| format!("writing {}: {e}", args.reexec_out))?;
 
+    // The adaptive leg: phase detection on the streamed trace, per-phase
+    // forests, the policy chooser, and the deduplicated union — the full
+    // `run()`, timed best-of-N serially, then once in parallel for the
+    // thread-determinism contract (result AND per-phase report must be
+    // bit-identical at any thread count).
+    let adaptive_spec = PolicySpec {
+        cfg,
+        adaptive: AdaptiveConfig { enabled: true, ..AdaptiveConfig::default() },
+        ..PolicySpec::default()
+    };
+    let (adaptive_us, out_adaptive) = best_of_us(|| {
+        Pipeline::new(&program)
+            .policy(adaptive_spec)
+            .run()
+            .map_err(|e| format!("adaptive run: {e}"))
+    })?;
+    let out_adaptive_par = Pipeline::new(&program)
+        .policy(adaptive_spec)
+        .parallelism(par)
+        .run()
+        .map_err(|e| format!("parallel adaptive run: {e}"))?;
+    if format!("{:?}", out_adaptive.result) != format!("{:?}", out_adaptive_par.result)
+        || format!("{:?}", out_adaptive.adaptive) != format!("{:?}", out_adaptive_par.adaptive)
+    {
+        return Err(format!(
+            "adaptive results differ between --threads 1 and --threads {}",
+            args.threads
+        ));
+    }
+    if forest_bytes != preexec_slice::write_forest(&out_adaptive.forest) {
+        return Err("adaptive global forest differs from the windowed batch forest".to_string());
+    }
+    let rep = out_adaptive
+        .adaptive
+        .as_ref()
+        .ok_or("adaptive run reported no adaptive report")?;
+    let mut ajson = String::new();
+    let _ = write!(
+        ajson,
+        r#"{{"workload":"{}","budget":{},"wall_us":{adaptive_us},"phases":["#,
+        args.workload, args.budget,
+    );
+    for (i, p) in rep.phases.iter().enumerate() {
+        if i > 0 {
+            ajson.push(',');
+        }
+        let _ = write!(
+            ajson,
+            r#"{{"index":{},"insts":{},"l2_misses":{},"policy":"{}","policy_index":{},"pthreads":{},"payoff":{:.3},"static_payoff":{:.3}}}"#,
+            p.index,
+            p.insts,
+            p.l2_misses,
+            p.policy,
+            p.policy_index,
+            p.pthreads,
+            p.payoff,
+            p.static_payoff,
+        );
+    }
+    let _ = write!(
+        ajson,
+        r#"],"divergent_phases":{},"pthreads":{{"adaptive":{},"static":{}}},"payoff":{{"adaptive":{:.3},"static":{:.3}}},"identical":true,"obs":"#,
+        rep.divergent_phases,
+        rep.adaptive_pthreads,
+        rep.static_pthreads,
+        rep.adaptive_payoff,
+        rep.static_payoff,
+    );
+    obs_json(&mut ajson);
+    ajson.push('}');
+    ajson.push('\n');
+    std::fs::write(&args.adaptive_out, &ajson)
+        .map_err(|e| format!("writing {}: {e}", args.adaptive_out))?;
+
     eprintln!(
         "pipeline-bench: {} @ {} insts, {} threads: slice {:.2}x, select {:.2}x, combined {:.2}x -> {}; stream peak {} vs batch {} insts -> {}",
         args.workload,
@@ -550,6 +639,17 @@ fn run(args: &Args) -> Result<u8, String> {
         cfg.scope,
         args.reexec_out
     );
+    eprintln!(
+        "pipeline-bench: adaptive leg: {} phases, {} divergent; {} p-threads (static {}), payoff {:.3} vs {:.3} ({} us) -> {}",
+        rep.phases.len(),
+        rep.divergent_phases,
+        rep.adaptive_pthreads,
+        rep.static_pthreads,
+        rep.adaptive_payoff,
+        rep.static_payoff,
+        adaptive_us,
+        args.adaptive_out
+    );
     // `--check`: the screening perf gate. Screened scoring doing *more*
     // work than exact scoring means the screen's savings no longer cover
     // its own cost — a perf regression worth failing CI over.
@@ -567,6 +667,17 @@ fn run(args: &Args) -> Result<u8, String> {
         eprintln!(
             "pipeline-bench: --check failed: ondemand peak resident detail ({peak_resident} insts) not under the scope ({})",
             cfg.scope
+        );
+        return Ok(2);
+    }
+    // `--check`: the chooser's ties-keep-static gate. Per-phase payoffs
+    // sum monotonically (the chooser keeps the static variant on ties),
+    // so the adaptive aggregate can never fall below the static one; if
+    // it does, the chooser is broken.
+    if args.check && rep.adaptive_payoff < rep.static_payoff {
+        eprintln!(
+            "pipeline-bench: --check failed: adaptive payoff ({:.3}) below static ({:.3})",
+            rep.adaptive_payoff, rep.static_payoff
         );
         return Ok(2);
     }

@@ -21,25 +21,36 @@
 //! `tests/builder_wrappers` — callers migrate on their own schedule, the
 //! behaviour cannot drift.
 //!
-//! Knobs compose orthogonally:
+//! Since the [`PolicySpec`] redesign, the builder holds exactly one
+//! policy value: every *policy* knob (config, budget, slicing mode,
+//! screening, streaming, adaptive selection, deadline) is a field of the
+//! spec, and the individual setters are thin wrappers that mutate it.
+//! [`policy`](Pipeline::policy) installs a whole spec at once — the same
+//! value the toolflow `--policy` flag, the daemon's v6 `policy` object,
+//! and the WAL all carry. The policy-sprawl setters
+//! ([`streaming`](Pipeline::streaming), [`screening`](Pipeline::screening),
+//! [`slicing_mode`](Pipeline::slicing_mode)) are `#[deprecated]` in
+//! favour of the spec, pinned byte-identical by the builder tests.
+//!
+//! Execution-environment knobs stay separate from policy:
 //!
 //! - [`threads`](Pipeline::threads) / [`parallelism`](Pipeline::parallelism)
 //!   — intra-stage fan-out (slice-tree build, selection);
-//! - [`streaming`](Pipeline::streaming) — bounded-memory trace transport
-//!   (producer/consumer overlap instead of the deferred-bank fan-out);
+//! - [`stream_config`](Pipeline::stream_config) — transport geometry of
+//!   the streaming path (never observable in results);
 //! - [`artifacts`](Pipeline::artifacts) — skip the trace stage entirely,
 //!   finishing from a cached forest (the service's cache-hit path);
-//! - [`screening`](Pipeline::screening) — the static ADVagg upper-bound
-//!   pre-pass of the selection stage (on by default; never changes the
-//!   selected set, only skips exact scoring of provably hopeless
-//!   candidates).
+//! - [`gate`](Pipeline::gate) — stage-boundary admission (cancellation,
+//!   deadlines).
 //!
 //! Every combination produces byte-identical [`PipelineResult`]s — the
 //! determinism contract of DESIGN.md §11 extended to the new axes.
+//! Adaptive runs are additionally bit-identical at any thread count.
 
 use crate::pipeline::{
-    self, PipelineConfig, PipelineParStats, PipelineResult, StreamRunStats,
+    self, AdaptiveReport, PipelineConfig, PipelineParStats, PipelineResult, StreamRunStats,
 };
+use crate::policy::PolicySpec;
 use crate::PipelineError;
 use preexec_core::par::{ParStats, Parallelism};
 use preexec_core::ScreenStats;
@@ -100,6 +111,9 @@ pub struct PipelineOutput {
     /// selection stage; `None` when screening was disabled via
     /// [`screening(false)`](Pipeline::screening).
     pub screen: Option<ScreenStats>,
+    /// Per-phase policy choices and static-vs-adaptive aggregates;
+    /// `None` unless the spec enabled adaptive selection.
+    pub adaptive: Option<AdaptiveReport>,
 }
 
 /// Default checkpoint cadence for
@@ -151,54 +165,54 @@ pub type StageGate<'g> = &'g (dyn Fn(&'static str) -> Result<(), PipelineError> 
 #[derive(Clone)]
 pub struct Pipeline<'p> {
     program: &'p Program,
-    cfg: PipelineConfig,
+    spec: PolicySpec,
     par: Parallelism,
-    streaming: bool,
     stream: StreamConfig,
     artifacts: Option<(SliceForest, RunStats)>,
     gate: Option<StageGate<'p>>,
-    screening: bool,
-    slicing: SlicingMode,
 }
 
 impl std::fmt::Debug for Pipeline<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pipeline")
-            .field("cfg", &self.cfg)
+            .field("spec", &self.spec)
             .field("par", &self.par)
-            .field("streaming", &self.streaming)
             .field("stream", &self.stream)
             .field("artifacts", &self.artifacts.is_some())
             .field("gate", &self.gate.is_some())
-            .field("screening", &self.screening)
-            .field("slicing", &self.slicing)
             .finish_non_exhaustive()
     }
 }
 
 impl<'p> Pipeline<'p> {
-    /// Starts a builder over `program` with the paper-default
-    /// configuration at a 120 k-instruction budget (the repo's standard
-    /// quick-run scale; override with [`budget`](Self::budget) or
-    /// [`config`](Self::config)).
+    /// Starts a builder over `program` with the default policy
+    /// ([`PolicySpec::default`]: paper configuration at a
+    /// 120 k-instruction budget; override with [`policy`](Self::policy),
+    /// [`budget`](Self::budget), or [`config`](Self::config)).
     pub fn new(program: &'p Program) -> Pipeline<'p> {
         Pipeline {
             program,
-            cfg: PipelineConfig::paper_default(120_000),
+            spec: PolicySpec::default(),
             par: Parallelism::serial(),
-            streaming: false,
             stream: StreamConfig::default(),
             artifacts: None,
             gate: None,
-            screening: true,
-            slicing: SlicingMode::Windowed,
         }
     }
 
-    /// Replaces the whole [`PipelineConfig`].
+    /// Installs a whole [`PolicySpec`] — the one source of truth for
+    /// every policy knob. Replaces any previously set config, budget,
+    /// slicing mode, screening, streaming, or adaptive settings.
+    #[must_use]
+    pub fn policy(mut self, spec: PolicySpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Replaces the spec's [`PipelineConfig`].
     #[must_use]
     pub fn config(mut self, cfg: PipelineConfig) -> Self {
-        self.cfg = cfg;
+        self.spec.cfg = cfg;
         self
     }
 
@@ -206,8 +220,8 @@ impl<'p> Pipeline<'p> {
     /// (a quarter of the budget).
     #[must_use]
     pub fn budget(mut self, budget: u64) -> Self {
-        self.cfg.budget = budget;
-        self.cfg.warmup = budget / 4;
+        self.spec.cfg.budget = budget;
+        self.spec.cfg.warmup = budget / 4;
         self
     }
 
@@ -226,9 +240,10 @@ impl<'p> Pipeline<'p> {
 
     /// Selects the streaming bounded-memory trace path (see
     /// [`pipeline::try_trace_and_slice_streamed`]). Off by default.
+    #[deprecated(note = "set `streaming` on a `PolicySpec` and use `Pipeline::policy`")]
     #[must_use]
     pub fn streaming(mut self, on: bool) -> Self {
-        self.streaming = on;
+        self.spec.streaming = on;
         self
     }
 
@@ -256,9 +271,10 @@ impl<'p> Pipeline<'p> {
     /// positive are pruned — it only skips exact scoring work. Turning it
     /// off exists for benchmarking the exact path and for bisecting
     /// suspected screen regressions.
+    #[deprecated(note = "set `screening` on a `PolicySpec` and use `Pipeline::policy`")]
     #[must_use]
     pub fn screening(mut self, on: bool) -> Self {
-        self.screening = on;
+        self.spec.screening = on;
         self
     }
 
@@ -267,9 +283,10 @@ impl<'p> Pipeline<'p> {
     /// [`OnDemand`](SlicingMode::OnDemand) mode the checkpointed
     /// re-execution path replaces both the batch and streaming
     /// transports — [`streaming`](Self::streaming) is ignored.
+    #[deprecated(note = "set `slicing` on a `PolicySpec` and use `Pipeline::policy`")]
     #[must_use]
     pub fn slicing_mode(mut self, mode: SlicingMode) -> Self {
-        self.slicing = mode;
+        self.spec.slicing = mode;
         self
     }
 
@@ -298,23 +315,29 @@ impl<'p> Pipeline<'p> {
     /// starts; [`PipelineError::Exec`]/[`Slice`](PipelineError::Slice)
     /// if the trace faults.
     pub fn trace(self) -> Result<TraceArtifacts, PipelineError> {
-        self.cfg.try_validate()?;
+        self.spec.try_validate()?;
         let (artifacts, _us) = self.trace_stage()?;
         Ok(artifacts)
     }
 
     /// Runs the full pipeline (or its post-trace half, given
-    /// [`artifacts`](Self::artifacts)).
+    /// [`artifacts`](Self::artifacts)). When the spec enables adaptive
+    /// selection, the run takes the phased path: phase-partitioned
+    /// streaming trace, per-phase policy choice, and a deduplicated
+    /// union selection (see [`AdaptiveReport`]).
     ///
     /// # Errors
     ///
     /// Configuration variants of [`PipelineError`] before any work
     /// starts; wrapped layer errors if a stage faults.
     pub fn run(self) -> Result<PipelineOutput, PipelineError> {
-        self.cfg.try_validate()?;
+        self.spec.try_validate()?;
         preexec_obs::global().counter("pipeline.runs").inc();
+        if self.spec.adaptive.enabled {
+            return self.run_adaptive();
+        }
         let program = self.program;
-        let cfg = self.cfg;
+        let cfg = self.spec.cfg;
         let par = self.par;
         let gate = self.gate;
         let check = |stage: &'static str| match gate {
@@ -322,7 +345,7 @@ impl<'p> Pipeline<'p> {
             None => Ok(()),
         };
         let artifacts_reused = self.artifacts.is_some();
-        let screening = self.screening;
+        let screening = self.spec.screening;
         let (arts, trace_us) = self.trace_stage()?;
         let mut stage_us = StageUs { trace: trace_us, ..StageUs::default() };
 
@@ -350,6 +373,64 @@ impl<'p> Pipeline<'p> {
             stage_us,
             artifacts_reused,
             screen: screening.then_some(screen),
+            adaptive: None,
+        })
+    }
+
+    /// The adaptive run: phased streaming trace, per-phase policy
+    /// choice, union selection, assisted sim of the union. The returned
+    /// `forest` is the global one — byte-identical to what a non-phased
+    /// streamed trace of the same spec produces.
+    fn run_adaptive(self) -> Result<PipelineOutput, PipelineError> {
+        // Cached artifacts carry no phase partition, so an adaptive run
+        // cannot honestly start from them.
+        if self.artifacts.is_some() {
+            return Err(PipelineError::ConflictingPolicy { key: "artifacts" });
+        }
+        let program = self.program;
+        let cfg = self.spec.cfg;
+        let par = self.par;
+        let screening = self.spec.screening;
+
+        self.check_gate("trace")?;
+        let t = Instant::now();
+        let (phased, stats, stream) = pipeline::try_trace_and_slice_phased(
+            program,
+            cfg.scope,
+            cfg.max_slice_len,
+            cfg.budget,
+            cfg.warmup,
+            &self.stream,
+            &self.spec.adaptive.phase_config(),
+        )?;
+        let mut stage_us = StageUs { trace: elapsed_us(t), ..StageUs::default() };
+
+        self.check_gate("base_sim")?;
+        let t = Instant::now();
+        let base = pipeline::base_sim_stage(program, &cfg)?;
+        stage_us.base_sim = elapsed_us(t);
+
+        self.check_gate("select")?;
+        let t = Instant::now();
+        let (selection, report, select_par, screen) =
+            pipeline::select_adaptive_stage(&phased, &cfg, base.ipc(), par, screening)?;
+        stage_us.select = elapsed_us(t);
+
+        self.check_gate("assisted_sim")?;
+        let t = Instant::now();
+        let assisted = pipeline::assisted_sim_stage(program, &selection.pthreads, &cfg)?;
+        stage_us.assisted_sim = elapsed_us(t);
+
+        let serial = ParStats { threads: 1, ..ParStats::default() };
+        Ok(PipelineOutput {
+            result: PipelineResult { stats, base, selection, assisted },
+            forest: phased.global,
+            par: PipelineParStats { slice: serial, select: select_par },
+            stream: Some(stream),
+            stage_us,
+            artifacts_reused: false,
+            screen: screening.then_some(screen),
+            adaptive: Some(report),
         })
     }
 
@@ -364,35 +445,36 @@ impl<'p> Pipeline<'p> {
             return Ok((arts, 0));
         }
         self.check_gate("trace")?;
+        let cfg = self.spec.cfg;
         let t = Instant::now();
-        let arts = if let SlicingMode::OnDemand { checkpoint_every } = self.slicing {
+        let arts = if let SlicingMode::OnDemand { checkpoint_every } = self.spec.slicing {
             let (forest, stats, par) = pipeline::trace_ondemand(
                 self.program,
-                self.cfg.scope,
-                self.cfg.max_slice_len,
-                self.cfg.budget,
-                self.cfg.warmup,
+                cfg.scope,
+                cfg.max_slice_len,
+                cfg.budget,
+                cfg.warmup,
                 checkpoint_every,
                 self.par,
             )?;
             TraceArtifacts { forest, stats, par, stream: None }
-        } else if self.streaming {
+        } else if self.spec.streaming {
             let (forest, stats, stream) = pipeline::try_trace_and_slice_streamed(
                 self.program,
-                self.cfg.scope,
-                self.cfg.max_slice_len,
-                self.cfg.budget,
-                self.cfg.warmup,
+                cfg.scope,
+                cfg.max_slice_len,
+                cfg.budget,
+                cfg.warmup,
                 &self.stream,
             )?;
             TraceArtifacts { forest, stats, par: serial, stream: Some(stream) }
         } else {
             let (forest, stats, par) = pipeline::trace_batch_par(
                 self.program,
-                self.cfg.scope,
-                self.cfg.max_slice_len,
-                self.cfg.budget,
-                self.cfg.warmup,
+                cfg.scope,
+                cfg.max_slice_len,
+                cfg.budget,
+                cfg.warmup,
                 self.par,
             )?;
             TraceArtifacts { forest, stats, par, stream: None }
@@ -440,8 +522,49 @@ mod tests {
     fn budget_scales_warmup_like_paper_default() {
         let p = vpr();
         let b = Pipeline::new(&p).budget(80_000);
-        assert_eq!(b.cfg.budget, 80_000);
-        assert_eq!(b.cfg.warmup, 20_000);
+        assert_eq!(b.spec.cfg.budget, 80_000);
+        assert_eq!(b.spec.cfg.warmup, 20_000);
+    }
+
+    #[test]
+    fn setters_are_thin_wrappers_over_the_policy_spec() {
+        // Each individual setter mutates exactly the spec field it
+        // fronts — the spec is the single source of truth.
+        let p = vpr();
+        let b = Pipeline::new(&p)
+            .config(cfg())
+            .budget(80_000)
+            .policy(PolicySpec {
+                streaming: true,
+                screening: false,
+                slicing: SlicingMode::OnDemand { checkpoint_every: 7 },
+                ..PolicySpec::default()
+            });
+        assert!(b.spec.streaming);
+        assert!(!b.spec.screening);
+        assert_eq!(b.spec.slicing, SlicingMode::OnDemand { checkpoint_every: 7 });
+        // .policy() replaced the earlier budget wholesale.
+        assert_eq!(b.spec.cfg.budget, 120_000);
+    }
+
+    /// The deprecation pin: the deprecated per-knob setters and the
+    /// `policy` spec produce byte-identical results.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_match_the_policy_spec_byte_for_byte() {
+        let p = vpr();
+        let c = cfg();
+        let via_setters =
+            Pipeline::new(&p).config(c).streaming(true).screening(false).run().unwrap();
+        let via_spec = Pipeline::new(&p)
+            .policy(PolicySpec { cfg: c, streaming: true, screening: false, ..PolicySpec::default() })
+            .run()
+            .unwrap();
+        assert_eq!(key(&via_setters.result), key(&via_spec.result));
+        assert_eq!(
+            preexec_slice::write_forest(&via_setters.forest),
+            preexec_slice::write_forest(&via_spec.forest)
+        );
     }
 
     #[test]
@@ -461,10 +584,82 @@ mod tests {
         let p = vpr();
         let c = cfg();
         let batch = Pipeline::new(&p).config(c).run().unwrap();
-        let out = Pipeline::new(&p).config(c).streaming(true).run().unwrap();
+        let out = Pipeline::new(&p)
+            .policy(PolicySpec { cfg: c, streaming: true, ..PolicySpec::default() })
+            .run()
+            .unwrap();
         let s = out.stream.expect("streaming stats");
         assert!(s.chunks > 0);
         assert_eq!(key(&out.result), key(&batch.result));
+    }
+
+    fn adaptive_spec(c: PipelineConfig) -> PolicySpec {
+        PolicySpec {
+            cfg: c,
+            adaptive: crate::AdaptiveConfig { enabled: true, ..crate::AdaptiveConfig::default() },
+            ..PolicySpec::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_run_is_bit_identical_at_any_thread_count() {
+        let p = vpr();
+        let c = cfg();
+        let serial = Pipeline::new(&p).policy(adaptive_spec(c)).run().unwrap();
+        let report = serial.adaptive.as_ref().expect("adaptive report");
+        assert!(!report.phases.is_empty());
+        // The chooser keeps static on ties, so adaptive never loses.
+        assert!(report.adaptive_payoff >= report.static_payoff);
+        let serial_forest = preexec_slice::write_forest(&serial.forest);
+        for threads in [2usize, 4] {
+            let out = Pipeline::new(&p).policy(adaptive_spec(c)).threads(threads).run().unwrap();
+            assert_eq!(key(&out.result), key(&serial.result), "threads={threads}");
+            assert_eq!(
+                format!("{:?}", out.adaptive),
+                format!("{:?}", serial.adaptive),
+                "report diverged at threads={threads}"
+            );
+            assert_eq!(
+                preexec_slice::write_forest(&out.forest),
+                serial_forest,
+                "forest bytes diverged at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_global_forest_matches_the_streamed_forest() {
+        // The phase partition never perturbs the global view: an
+        // adaptive run's forest is byte-identical to a plain streamed
+        // (and therefore batch) trace of the same spec.
+        let p = vpr();
+        let c = cfg();
+        let plain = Pipeline::new(&p).config(c).trace().unwrap();
+        let out = Pipeline::new(&p).policy(adaptive_spec(c)).run().unwrap();
+        assert_eq!(
+            preexec_slice::write_forest(&out.forest),
+            preexec_slice::write_forest(&plain.forest)
+        );
+    }
+
+    #[test]
+    fn adaptive_rejects_ondemand_and_artifacts() {
+        let p = vpr();
+        let mut spec = adaptive_spec(cfg());
+        spec.slicing = SlicingMode::OnDemand { checkpoint_every: DEFAULT_CHECKPOINT_EVERY };
+        assert_eq!(
+            Pipeline::new(&p).policy(spec).run().unwrap_err(),
+            PipelineError::ConflictingPolicy { key: "slice_mode" }
+        );
+        let arts = Pipeline::new(&p).config(cfg()).trace().unwrap();
+        assert_eq!(
+            Pipeline::new(&p)
+                .policy(adaptive_spec(cfg()))
+                .artifacts(arts.forest, arts.stats)
+                .run()
+                .unwrap_err(),
+            PipelineError::ConflictingPolicy { key: "artifacts" }
+        );
     }
 
     #[test]
@@ -520,11 +715,12 @@ mod tests {
         let batch_forest = preexec_slice::write_forest(&batch.forest);
         for threads in [1usize, 2, 8] {
             let out = Pipeline::new(&p)
-                .config(c)
-                .threads(threads)
-                .slicing_mode(SlicingMode::OnDemand {
-                    checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+                .policy(PolicySpec {
+                    cfg: c,
+                    slicing: SlicingMode::OnDemand { checkpoint_every: DEFAULT_CHECKPOINT_EVERY },
+                    ..PolicySpec::default()
                 })
+                .threads(threads)
                 .run()
                 .unwrap();
             assert_eq!(key(&out.result), key(&batch.result), "threads={threads}");
@@ -543,8 +739,11 @@ mod tests {
         let batch = Pipeline::new(&p).config(c).run().unwrap();
         for every in [1u64, 257, 1 << 20] {
             let out = Pipeline::new(&p)
-                .config(c)
-                .slicing_mode(SlicingMode::OnDemand { checkpoint_every: every })
+                .policy(PolicySpec {
+                    cfg: c,
+                    slicing: SlicingMode::OnDemand { checkpoint_every: every },
+                    ..PolicySpec::default()
+                })
                 .run()
                 .unwrap();
             assert_eq!(key(&out.result), key(&batch.result), "checkpoint_every={every}");

@@ -62,6 +62,22 @@ pub enum PipelineError {
         /// How far past the deadline the boundary check ran.
         over_ms: u64,
     },
+    /// Two policy inputs contradict each other — e.g. adaptive selection
+    /// combined with on-demand slicing, or a flat v5 protocol field and
+    /// the nested v6 `policy` object naming different values for the
+    /// same key. Carries the policy key in conflict.
+    ConflictingPolicy {
+        /// The policy key the two inputs disagree on (`"slice_mode"`,
+        /// `"deadline_ms"`, ...).
+        key: &'static str,
+    },
+    /// An adaptive-selection knob was out of range (the knobs must all
+    /// be ≥ 1 when `adaptive` is enabled).
+    BadAdaptive {
+        /// The offending [`AdaptiveConfig`](crate::AdaptiveConfig)
+        /// field.
+        field: &'static str,
+    },
 }
 
 impl PipelineError {
@@ -86,6 +102,8 @@ impl PipelineError {
             PipelineError::Sim(_) => "pipeline.sim",
             PipelineError::Cancelled { .. } => "pipeline.cancelled",
             PipelineError::DeadlineExceeded { .. } => "pipeline.deadline_exceeded",
+            PipelineError::ConflictingPolicy { .. } => "config.conflicting_policy",
+            PipelineError::BadAdaptive { .. } => "config.bad_adaptive",
         }
     }
 }
@@ -119,6 +137,12 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::DeadlineExceeded { stage, over_ms } => {
                 write!(f, "deadline exceeded {over_ms} ms before the {stage} stage")
+            }
+            PipelineError::ConflictingPolicy { key } => {
+                write!(f, "conflicting policy values for `{key}`")
+            }
+            PipelineError::BadAdaptive { field } => {
+                write!(f, "adaptive knob `{field}` must be positive")
             }
         }
     }
@@ -200,6 +224,8 @@ mod tests {
             PipelineError::Sim(SimError::Machine(MachineError::ZeroWidth)).code(),
             PipelineError::Cancelled { stage: "select" }.code(),
             PipelineError::DeadlineExceeded { stage: "select", over_ms: 3 }.code(),
+            PipelineError::ConflictingPolicy { key: "slice_mode" }.code(),
+            PipelineError::BadAdaptive { field: "confirm" }.code(),
         ];
         for (i, a) in codes.iter().enumerate() {
             for b in &codes[i + 1..] {

@@ -34,6 +34,7 @@ pub mod fault;
 pub mod figures;
 pub mod fmt;
 pub mod pipeline;
+pub mod policy;
 pub mod tables;
 
 pub use builder::{
@@ -48,9 +49,10 @@ pub use pipeline::{
 };
 pub use pipeline::{
     run_pipeline, trace_and_slice, trace_and_slice_warm, try_run_pipeline,
-    try_trace_and_slice_streamed, try_trace_and_slice_warm, PipelineConfig, PipelineParStats,
-    PipelineResult, StreamRunStats,
+    try_trace_and_slice_phased, try_trace_and_slice_streamed, try_trace_and_slice_warm,
+    AdaptiveReport, PhaseReport, PipelineConfig, PipelineParStats, PipelineResult, StreamRunStats,
 };
+pub use policy::{AdaptiveConfig, PolicySpec};
 pub use preexec_core::par::{ParStats, Parallelism};
 pub use preexec_core::ScreenStats;
 pub use preexec_func::StreamConfig;

@@ -3,19 +3,20 @@
 use crate::PipelineError;
 use preexec_core::par::{self, ParStats, Parallelism};
 use preexec_core::{
-    select_pthreads, try_select_pthreads_stats, ScreenStats, Selection, SelectionParams,
-    StaticPThread,
+    select_pthreads, try_choose_policy, try_select_pthreads_stats, PhaseStats, ScreenStats,
+    Selection, SelectionParams, SelectionPrediction, StaticPThread,
 };
 use preexec_func::{
-    try_run_trace, try_run_trace_checkpointed, try_run_trace_chunked, DynInst, ExecError,
-    Replayer, RunStats, StreamConfig, TraceConfig,
+    try_run_trace, try_run_trace_checkpointed, try_run_trace_chunked, ChunkSummary, DynInst,
+    ExecError, PhaseConfig, PhaseDetector, Replayer, RunStats, StreamConfig, TraceConfig,
 };
 use preexec_isa::{Inst, Pc, Program};
 use preexec_mem::HierarchyConfig;
 use preexec_slice::{
-    OnDemandSlicer, PendingTree, SliceEntry, SliceForest, SliceForestBuilder, SliceTree,
+    OnDemandSlicer, PendingTree, PhasedForest, PhasedForestBuilder, SliceEntry, SliceForest,
+    SliceForestBuilder, SliceTree,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use preexec_timing::{try_simulate, MachineParams, SimConfig, SimMode, SimResult};
 
 /// Per-stage parallel-utilization counters for one pipeline run: one
@@ -54,7 +55,7 @@ pub struct StreamRunStats {
 }
 
 /// Configuration of one pipeline run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
     /// The simulated machine.
     pub machine: MachineParams,
@@ -519,6 +520,99 @@ pub fn try_trace_and_slice_streamed(
     Ok((forest, stats, stream_stats))
 }
 
+/// Phase-partitioned streaming trace+slice: the streamed path of
+/// [`try_trace_and_slice_streamed`] with a [`PhaseDetector`] riding the
+/// chunk boundary and a [`PhasedForestBuilder`] maintaining one slice
+/// forest per detected phase alongside the global one.
+///
+/// Each chunk is summarized (measured instructions, L2-miss loads)
+/// *before* any of it is sliced; when the detector confirms a shift, the
+/// new phase's forest begins with that whole chunk — exactly the
+/// prospective boundary rule of [`preexec_func::phase`]. The slicing
+/// window itself is continuous across phase boundaries (slices near a
+/// boundary still reach back into the previous phase), so the returned
+/// `global` forest is **byte-identical** to the non-phased streamed
+/// forest whatever the detector decides.
+///
+/// Deterministic end to end: chunking is content-deterministic, the
+/// detector is chunk-deterministic, and the builder is feed-order
+/// deterministic — thread count and timing never change the result.
+///
+/// # Errors
+///
+/// Same as [`try_trace_and_slice_streamed`].
+pub fn try_trace_and_slice_phased(
+    program: &Program,
+    scope: usize,
+    max_slice_len: usize,
+    budget: u64,
+    warmup: u64,
+    stream: &StreamConfig,
+    phase_cfg: &PhaseConfig,
+) -> Result<(PhasedForest, RunStats, StreamRunStats), PipelineError> {
+    let mut builder = PhasedForestBuilder::try_new(scope, max_slice_len)?;
+    let mut detector = PhaseDetector::new(*phase_cfg);
+    let config = trace_config(budget, warmup);
+    let trace_span = preexec_obs::global().span("stage.trace");
+    let mut stats = RunStats::new();
+    let mut sink_fault: Option<ExecError> = None;
+    let mut peak: usize = 0;
+    let (full, sstats) = try_run_trace_chunked(program, &config, stream, |chunk| {
+        peak = peak.max(builder.window_len() + chunk.len());
+        if sink_fault.is_some() {
+            return; // drain the channel; the latched fault wins
+        }
+        // Summarize the measured part of the chunk first: the detector
+        // decides whether a new phase begins *with* this chunk, before
+        // any of its instructions are sliced.
+        let mut summary = ChunkSummary::default();
+        for d in chunk {
+            if d.seq < warmup {
+                continue;
+            }
+            summary.insts += 1;
+            if d.is_l2_miss_load() {
+                summary.l2_misses += 1;
+            }
+        }
+        if detector.observe_chunk(summary) {
+            builder.begin_phase();
+        }
+        for d in chunk {
+            if d.seq < warmup {
+                builder.observe_warmup(d);
+                continue;
+            }
+            builder.observe(d);
+            if let Err(e) = record_measured(&mut stats, d) {
+                sink_fault = Some(e);
+                return;
+            }
+        }
+    })?;
+    if let Some(e) = sink_fault {
+        return Err(e.into());
+    }
+    stats.total_steps = full.total_steps;
+    trace_span.finish();
+    let build_span = preexec_obs::global().span("stage.slice_build");
+    let phased = builder.finish();
+    build_span.finish();
+
+    let stream_stats = StreamRunStats {
+        chunks: sstats.chunks,
+        peak_window_insts: peak as u64,
+        backpressure_stalls_us: sstats.producer_stall_us,
+        consumer_stalls_us: sstats.consumer_stall_us,
+    };
+    let reg = preexec_obs::global();
+    reg.counter("stream.chunks").add(stream_stats.chunks);
+    reg.counter("stream.backpressure_stalls_us").add(stream_stats.backpressure_stalls_us);
+    reg.gauge("stream.peak_window_insts").set(peak as i64);
+    reg.gauge("phase.count").set(phased.phases.len() as i64);
+    Ok((phased, stats, stream_stats))
+}
+
 /// The [`TraceConfig`] every trace+slice path uses: paper caches, a step
 /// budget of `warmup + budget`.
 fn trace_config(budget: u64, warmup: u64) -> TraceConfig {
@@ -547,6 +641,13 @@ fn feed_measured(
         return Ok(());
     }
     builder.observe(d);
+    record_measured(stats, d)
+}
+
+/// The trace-statistics update for one measured instruction — shared by
+/// [`feed_measured`] and the phased streaming path so both count loads,
+/// stores, and branches identically.
+fn record_measured(stats: &mut RunStats, d: &DynInst) -> Result<(), ExecError> {
     stats.insts += 1;
     match d.inst.op.class() {
         preexec_isa::OpClass::Load => match d.level {
@@ -778,6 +879,150 @@ pub(crate) fn select_stage(
 ) -> Result<(Selection, ParStats, ScreenStats), PipelineError> {
     let params = selection_params(cfg, base_ipc);
     Ok(try_select_pthreads_stats(forest, &params, par, screening)?)
+}
+
+/// One phase's row in an [`AdaptiveReport`]: what the chooser saw and
+/// what it picked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Phase index (trace order).
+    pub index: usize,
+    /// Measured instructions attributed to the phase.
+    pub insts: u64,
+    /// L2-miss loads among them.
+    pub l2_misses: u64,
+    /// Name of the winning policy variant
+    /// (see [`preexec_core::POLICY_SPACE`]).
+    pub policy: &'static str,
+    /// Its index in the policy space (0 = the static policy).
+    pub policy_index: usize,
+    /// The winning payoff `J = LTagg − κ·OHagg`.
+    pub payoff: f64,
+    /// The static variant's payoff on the same phase.
+    pub static_payoff: f64,
+    /// The overhead weight κ the phase was judged under.
+    pub kappa: f64,
+    /// Static p-threads the winning selection picked for this phase.
+    pub pthreads: usize,
+    /// Misses the winning selection predicts covered within the phase.
+    pub misses_covered: u64,
+}
+
+/// What the adaptive selection stage did: one [`PhaseReport`] per
+/// detected phase plus the static-vs-adaptive aggregates the results
+/// table is built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveReport {
+    /// Per-phase chooser verdicts, in trace order.
+    pub phases: Vec<PhaseReport>,
+    /// Phases whose winning policy was not the static one.
+    pub divergent_phases: usize,
+    /// P-threads the static policy selects on the global forest.
+    pub static_pthreads: usize,
+    /// P-threads in the deduplicated adaptive union.
+    pub adaptive_pthreads: usize,
+    /// Σ per-phase chosen payoffs.
+    pub adaptive_payoff: f64,
+    /// Σ per-phase static payoffs. The chooser keeps the static variant
+    /// on ties, so `adaptive_payoff ≥ static_payoff` by construction.
+    pub static_payoff: f64,
+}
+
+/// The adaptive selection stage: runs the policy chooser
+/// ([`preexec_core::try_choose_policy`]) on every phase forest, then
+/// unions the winning per-phase p-thread sets into one deployable set.
+///
+/// The union deduplicates by trigger PC with first-phase-wins semantics
+/// (phases are visited in trace order, so the earliest phase that wants
+/// a trigger keeps its body — a deterministic rule that needs no score
+/// comparison across phases). The union's prediction aggregates the
+/// per-phase winning predictions: counts sum, the average length is
+/// launch-weighted, and `num_static` is the deduplicated set size.
+///
+/// Bit-identical at any `par`: every per-phase chooser run is, and the
+/// union fold is serial in phase order.
+pub(crate) fn select_adaptive_stage(
+    phased: &PhasedForest,
+    cfg: &PipelineConfig,
+    base_ipc: f64,
+    par: Parallelism,
+    screening: bool,
+) -> Result<(Selection, AdaptiveReport, ParStats, ScreenStats), PipelineError> {
+    let _span = preexec_obs::global().span("stage.select_adaptive");
+    let base = selection_params(cfg, base_ipc);
+    let mut pstats = ParStats::default();
+    let mut sstats = ScreenStats::default();
+
+    // The static baseline: what the non-adaptive pipeline would select
+    // on the global forest. Reported for comparison, never deployed.
+    let (static_sel, sp, ss) = try_select_pthreads_stats(&phased.global, &base, par, screening)?;
+    pstats.absorb(&sp);
+    sstats.absorb(&ss);
+
+    let mut reports = Vec::with_capacity(phased.phases.len());
+    let mut union: Vec<StaticPThread> = Vec::new();
+    let mut seen: BTreeSet<Pc> = BTreeSet::new();
+    let mut agg = SelectionPrediction::default();
+    let mut weighted_len = 0.0_f64;
+    let mut adaptive_payoff = 0.0_f64;
+    let mut static_payoff = 0.0_f64;
+    // The whole sample's summary anchors the phase-local IPC estimate:
+    // a phase only moves the model if its rate departs from this.
+    let sample = PhaseStats {
+        insts: phased.global.sample_insts(),
+        l2_misses: phased.global.total_misses(),
+    };
+    for (index, forest) in phased.phases.iter().enumerate() {
+        let phase = PhaseStats { insts: forest.sample_insts(), l2_misses: forest.total_misses() };
+        let (choice, cp, cs) = try_choose_policy(forest, &base, sample, phase, par, screening)?;
+        pstats.absorb(&cp);
+        sstats.absorb(&cs);
+        let p = &choice.selection.prediction;
+        reports.push(PhaseReport {
+            index,
+            insts: phase.insts,
+            l2_misses: phase.l2_misses,
+            policy: choice.name,
+            policy_index: choice.index,
+            payoff: choice.payoff,
+            static_payoff: choice.static_payoff,
+            kappa: choice.kappa,
+            pthreads: choice.selection.pthreads.len(),
+            misses_covered: p.misses_covered,
+        });
+        agg.launches += p.launches;
+        agg.misses_covered += p.misses_covered;
+        agg.misses_fully_covered += p.misses_fully_covered;
+        agg.lt_agg += p.lt_agg;
+        agg.oh_agg += p.oh_agg;
+        agg.adv_agg += p.adv_agg;
+        weighted_len += p.avg_pthread_len * p.launches as f64;
+        adaptive_payoff += choice.payoff;
+        static_payoff += choice.static_payoff;
+        for pt in choice.selection.pthreads {
+            if seen.insert(pt.trigger) {
+                union.push(pt);
+            }
+        }
+    }
+    agg.num_static = union.len();
+    agg.avg_pthread_len =
+        if agg.launches > 0 { weighted_len / agg.launches as f64 } else { 0.0 };
+    agg.bw_seq = base.bw_seq;
+
+    let divergent_phases = reports.iter().filter(|r| r.policy_index != 0).count();
+    let reg = preexec_obs::global();
+    reg.counter("adaptive.phases").add(reports.len() as u64);
+    reg.counter("adaptive.divergent_phases").add(divergent_phases as u64);
+    let report = AdaptiveReport {
+        phases: reports,
+        divergent_phases,
+        static_pthreads: static_sel.pthreads.len(),
+        adaptive_pthreads: union.len(),
+        adaptive_payoff,
+        static_payoff,
+    };
+    Ok((Selection { pthreads: union, prediction: agg }, report, pstats, sstats))
 }
 
 /// Finishes a pipeline run from pre-computed trace artifacts: base sim,

@@ -11,7 +11,9 @@
 //! round-trips every `f64` exactly, so string equality below is bitwise
 //! equality of the whole result.
 
-use preexec_experiments::{Pipeline, PipelineConfig, SlicingMode, DEFAULT_CHECKPOINT_EVERY};
+use preexec_experiments::{
+    Pipeline, PipelineConfig, PolicySpec, SlicingMode, DEFAULT_CHECKPOINT_EVERY,
+};
 use preexec_slice::write_forest;
 use preexec_workloads::{suite, InputSet};
 
@@ -40,8 +42,10 @@ fn pipeline_is_bit_identical_across_thread_counts() {
     }
 
     // The streaming transport is a third point on the same identity.
-    let streamed =
-        Pipeline::new(&p).config(cfg).streaming(true).run().expect("streaming run");
+    let streamed = Pipeline::new(&p)
+        .policy(PolicySpec { cfg, streaming: true, ..PolicySpec::default() })
+        .run()
+        .expect("streaming run");
     assert_eq!(
         format!("{:?}", streamed.result),
         ref_fmt,
@@ -51,8 +55,11 @@ fn pipeline_is_bit_identical_across_thread_counts() {
 
     // On-demand re-execution slicing is a fourth.
     let ondemand = Pipeline::new(&p)
-        .config(cfg)
-        .slicing_mode(SlicingMode::OnDemand { checkpoint_every: DEFAULT_CHECKPOINT_EVERY })
+        .policy(PolicySpec {
+            cfg,
+            slicing: SlicingMode::OnDemand { checkpoint_every: DEFAULT_CHECKPOINT_EVERY },
+            ..PolicySpec::default()
+        })
         .run()
         .expect("ondemand run");
     assert_eq!(
@@ -82,16 +89,21 @@ fn slice_forest_serializes_identically_across_thread_counts() {
             "forest differs at threads={threads}"
         );
     }
-    let arts_s =
-        Pipeline::new(&p).config(cfg).streaming(true).trace().expect("streaming trace");
+    let arts_s = Pipeline::new(&p)
+        .policy(PolicySpec { cfg, streaming: true, ..PolicySpec::default() })
+        .trace()
+        .expect("streaming trace");
     assert_eq!(
         write_forest(&arts_s.forest),
         reference,
         "forest differs between batch and streaming"
     );
     let arts_o = Pipeline::new(&p)
-        .config(cfg)
-        .slicing_mode(SlicingMode::OnDemand { checkpoint_every: 777 })
+        .policy(PolicySpec {
+            cfg,
+            slicing: SlicingMode::OnDemand { checkpoint_every: 777 },
+            ..PolicySpec::default()
+        })
         .trace()
         .expect("ondemand trace");
     assert_eq!(

@@ -15,7 +15,7 @@
 //! toggles the *global* registry's recording flag, which would race with
 //! unit tests sharing the process.
 
-use preexec_experiments::{Pipeline, PipelineConfig};
+use preexec_experiments::{Pipeline, PipelineConfig, PolicySpec};
 use preexec_slice::write_forest;
 use preexec_workloads::{suite, InputSet};
 
@@ -31,9 +31,8 @@ fn recording_does_not_perturb_pipeline_output() {
     // result plus the serialized slice forest.
     let run = |threads: usize, streaming: bool| {
         let out = Pipeline::new(&p)
-            .config(cfg)
+            .policy(PolicySpec { cfg, streaming, ..PolicySpec::default() })
             .threads(threads)
-            .streaming(streaming)
             .run()
             .expect("pipeline");
         (format!("{:?}", out.result), write_forest(&out.forest))

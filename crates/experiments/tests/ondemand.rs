@@ -17,7 +17,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use preexec_experiments::{Pipeline, PipelineConfig, SlicingMode};
+use preexec_experiments::{Pipeline, PipelineConfig, PolicySpec, SlicingMode};
 use preexec_isa::{Program, ProgramBuilder, Reg};
 use preexec_slice::write_forest;
 use preexec_workloads::{suite, InputSet};
@@ -87,8 +87,11 @@ proptest! {
         cfg.scope = scope;
         let windowed = Pipeline::new(&p).config(cfg).trace().unwrap();
         let ondemand = Pipeline::new(&p)
-            .config(cfg)
-            .slicing_mode(SlicingMode::OnDemand { checkpoint_every })
+            .policy(PolicySpec {
+                cfg,
+                slicing: SlicingMode::OnDemand { checkpoint_every },
+                ..PolicySpec::default()
+            })
             .trace()
             .unwrap();
         prop_assert_eq!(write_forest(&ondemand.forest), write_forest(&windowed.forest));
@@ -120,9 +123,12 @@ fn ondemand_matches_windowed_on_real_workloads_at_every_thread_count() {
 
         for threads in [1usize, 2, 8] {
             let ondemand = Pipeline::new(&p)
-                .config(cfg)
+                .policy(PolicySpec {
+                    cfg,
+                    slicing: SlicingMode::OnDemand { checkpoint_every: 1021 },
+                    ..PolicySpec::default()
+                })
                 .threads(threads)
-                .slicing_mode(SlicingMode::OnDemand { checkpoint_every: 1021 })
                 .run()
                 .expect("ondemand run");
             assert_eq!(

@@ -10,7 +10,7 @@
 
 #![allow(clippy::expect_used)]
 
-use preexec_experiments::{Pipeline, PipelineConfig, SlicingMode};
+use preexec_experiments::{Pipeline, PipelineConfig, PolicySpec, SlicingMode};
 use preexec_slice::write_forest;
 use preexec_workloads::{suite, InputSet};
 
@@ -29,8 +29,11 @@ fn huge_scope_completes_with_bounded_residency() {
 
     let windowed = Pipeline::new(&p).config(cfg).trace().expect("windowed trace");
     let ondemand = Pipeline::new(&p)
-        .config(cfg)
-        .slicing_mode(SlicingMode::OnDemand { checkpoint_every })
+        .policy(PolicySpec {
+            cfg,
+            slicing: SlicingMode::OnDemand { checkpoint_every },
+            ..PolicySpec::default()
+        })
         .trace()
         .expect("ondemand trace");
 

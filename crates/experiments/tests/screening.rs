@@ -10,7 +10,7 @@
 //! `Debug` formatting round-trips every `f64` exactly, so string
 //! equality below is bitwise equality of the whole result.
 
-use preexec_experiments::{Pipeline, PipelineConfig};
+use preexec_experiments::{Pipeline, PipelineConfig, PolicySpec};
 use preexec_slice::write_forest;
 use preexec_workloads::{suite, InputSet};
 
@@ -20,7 +20,10 @@ fn screened_pipeline_is_bit_identical_to_exact_at_every_thread_count() {
     let p = w.build(InputSet::Train);
     let cfg = PipelineConfig::paper_default(60_000);
 
-    let exact = Pipeline::new(&p).config(cfg).screening(false).run().expect("exact run");
+    let exact = Pipeline::new(&p)
+        .policy(PolicySpec { cfg, screening: false, ..PolicySpec::default() })
+        .run()
+        .expect("exact run");
     assert!(exact.screen.is_none(), "screening(false) must not report screen stats");
     let ref_fmt = format!("{:?}", exact.result);
     let ref_forest = write_forest(&exact.forest);

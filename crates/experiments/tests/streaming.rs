@@ -18,7 +18,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use preexec_experiments::{Pipeline, PipelineConfig, StreamConfig};
+use preexec_experiments::{Pipeline, PipelineConfig, PolicySpec, StreamConfig};
 use preexec_isa::{Program, ProgramBuilder, Reg};
 use preexec_slice::write_forest;
 use preexec_workloads::{suite, InputSet};
@@ -80,8 +80,7 @@ proptest! {
         let cfg = PipelineConfig::paper_default(budget);
         let batch = Pipeline::new(&p).config(cfg).trace().unwrap();
         let streamed = Pipeline::new(&p)
-            .config(cfg)
-            .streaming(true)
+            .policy(PolicySpec { cfg, streaming: true, ..PolicySpec::default() })
             .stream_config(StreamConfig { chunk_insts, channel_chunks })
             .trace()
             .unwrap();
@@ -107,8 +106,7 @@ fn streaming_memory_stays_bounded_on_long_traces() {
     let cfg = PipelineConfig::paper_default(40_000);
     let stream = StreamConfig { chunk_insts: 512, channel_chunks: 4 };
     let arts = Pipeline::new(&p)
-        .config(cfg)
-        .streaming(true)
+        .policy(PolicySpec { cfg, streaming: true, ..PolicySpec::default() })
         .stream_config(stream)
         .trace()
         .expect("streaming trace");
@@ -137,7 +135,10 @@ fn streaming_matches_batch_at_every_thread_count() {
     let p = w.build(InputSet::Train);
     let cfg = PipelineConfig::paper_default(30_000);
 
-    let streamed = Pipeline::new(&p).config(cfg).streaming(true).run().expect("streaming run");
+    let streamed = Pipeline::new(&p)
+        .policy(PolicySpec { cfg, streaming: true, ..PolicySpec::default() })
+        .run()
+        .expect("streaming run");
     let stream_key = format!("{:?}", streamed.result);
     let stream_bytes = write_forest(&streamed.forest);
     assert!(!streamed.result.selection.pthreads.is_empty(), "trivial run proves nothing");

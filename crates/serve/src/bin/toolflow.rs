@@ -3,9 +3,9 @@
 //! reads the file and generates p-thread sets for several machine
 //! configurations quickly, without re-tracing.
 //!
-//! Usage: `toolflow [--jobs N] [--threads N] [--stream] [--slice-mode windowed|ondemand[:N]] [--no-screen] [--profile] [workload[,workload...]|all] [budget] [out.slices]`
+//! Usage: `toolflow [--jobs N] [--threads N] [--stream] [--slice-mode windowed|ondemand[:N]] [--no-screen] [--policy k=v,...] [--profile] [workload[,workload...]|all] [budget] [out.slices]`
 //!        `toolflow [--threads N] [--no-screen] [--profile] --read <file.slices>` (selection only, no re-tracing)
-//!        `toolflow --daemon HOST:PORT [--slice-mode ...] [workload[,workload...]|all] [budget]` (run via preexecd)
+//!        `toolflow --daemon HOST:PORT [--slice-mode ...] [--policy k=v,...] [workload[,workload...]|all] [budget]` (run via preexecd)
 //!
 //! With several workloads the runs are scheduled over `--jobs N` worker
 //! threads (default 1). Output is buffered per workload and printed in
@@ -45,6 +45,23 @@
 //! CI screening leg diffs the two. The flag exists for benchmarking the
 //! exact path and bisecting suspected screen regressions.
 //!
+//! `--policy key=val,...` sets any field of the unified
+//! [`PolicySpec`] directly: `slice_mode=windowed|ondemand[:N]`,
+//! `screening=BOOL`, `streaming=BOOL`, `adaptive=BOOL`,
+//! `threshold_permille=N`, `confirm=N`, `min_phase_chunks=N`,
+//! `deadline_ms=N`. The spelling composes with the dedicated flags
+//! (`--stream`, `--no-screen`, `--slice-mode`): restating the same
+//! value both ways is fine, but a flag and a `--policy` entry naming
+//! *different* values for one key exit 2 with the typed
+//! `config.conflicting_policy` error. `--policy adaptive=true` runs
+//! phase-adaptive selection: the trace streams through the phase
+//! detector, each detected phase gets its own policy choice, and the
+//! report prints one deterministic line per phase plus a
+//! static-vs-adaptive summary. `--policy adaptive=false` output is
+//! byte-identical to not passing `--policy` at all — the CI adaptive
+//! leg diffs the two. In `--daemon` mode the whole spec travels as the
+//! protocol's nested v6 `policy` object.
+//!
 //! `--profile` prints a per-stage wall-clock profile table (count, total,
 //! mean, p50/p99 bounds, max — from the [`preexec_obs`] registry) to
 //! *stderr* after the run. stdout is byte-identical with and without the
@@ -81,7 +98,9 @@
 //! failing job's code (5 for pipeline faults and panics) wins.
 
 use preexec_core::{try_select_pthreads_stats, Parallelism, SelectionParams};
-use preexec_experiments::{Pipeline, SlicingMode, DEFAULT_CHECKPOINT_EVERY};
+use preexec_experiments::{
+    Pipeline, PipelineError, PolicySpec, SlicingMode, DEFAULT_CHECKPOINT_EVERY,
+};
 use preexec_serve::json::Json;
 use preexec_serve::retry::{retry_with_backoff, Backoff};
 use preexec_serve::scheduler::{JobCompletion, Scheduler};
@@ -130,22 +149,32 @@ fn run(args: &[String]) -> Result<u8, Failure> {
     let mut jobs: usize = 1;
     let mut threads: usize = 1;
     let mut profile = false;
-    let mut stream = false;
-    let mut screening = true;
-    let mut slicing = SlicingMode::Windowed;
+    // Dedicated flags and `--policy` entries are tracked separately as
+    // "given or not": a key named by both with different values is a
+    // contradiction, not an override order.
+    let mut stream_flag: Option<bool> = None;
+    let mut screen_flag: Option<bool> = None;
+    let mut slicing_flag: Option<SlicingMode> = None;
+    let mut pol = PolicyOverrides::default();
     let mut daemon: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--profile" => profile = true,
-            "--stream" => stream = true,
-            "--no-screen" => screening = false,
+            "--stream" => stream_flag = Some(true),
+            "--no-screen" => screen_flag = Some(false),
             "--slice-mode" => {
                 let v = it.next().ok_or_else(|| {
                     Failure::new(2, "--slice-mode needs windowed or ondemand[:N]")
                 })?;
-                slicing = parse_slice_mode(v)?;
+                slicing_flag = Some(parse_slice_mode(v)?);
+            }
+            "--policy" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| Failure::new(2, "--policy needs key=val[,key=val...]"))?;
+                parse_policy_overrides(v, &mut pol)?;
             }
             "--daemon" => {
                 let v = it
@@ -181,6 +210,8 @@ fn run(args: &[String]) -> Result<u8, Failure> {
                     .ok_or_else(|| Failure::new(2, "usage: toolflow --read <file.slices>"))?;
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| Failure::new(3, format!("reading {path}: {e}")))?;
+                let screening =
+                    merge_policy("screening", screen_flag, pol.screening)?.unwrap_or(true);
                 let mut report = JobReport::default();
                 read_and_select(path, &text, Parallelism::new(threads), screening, &mut report);
                 print!("{}", report.stdout);
@@ -228,11 +259,37 @@ fn run(args: &[String]) -> Result<u8, Failure> {
             "an explicit output path only works with a single workload",
         ));
     }
+
+    // Resolve flags + `--policy` entries into the one PolicySpec every
+    // execution path (local, daemon, adaptive) consumes.
+    let mut spec = PolicySpec::paper_default(budget);
+    if let Some(m) = merge_policy("slice_mode", slicing_flag, pol.slicing)? {
+        spec.slicing = m;
+    }
+    spec.streaming = merge_policy("streaming", stream_flag, pol.streaming)?.unwrap_or(false);
+    spec.screening = merge_policy("screening", screen_flag, pol.screening)?.unwrap_or(true);
+    if let Some(on) = pol.adaptive {
+        spec.adaptive.enabled = on;
+    }
+    if let Some(x) = pol.threshold_permille {
+        spec.adaptive.threshold_permille = x;
+    }
+    if let Some(x) = pol.confirm {
+        spec.adaptive.confirm = x;
+    }
+    if let Some(x) = pol.min_phase_chunks {
+        spec.adaptive.min_phase_chunks = x;
+    }
+    spec.deadline_ms = pol.deadline_ms;
+    if let Err(e) = spec.try_validate() {
+        return Err(Failure::new(2, format!("{e} ({})", e.code())));
+    }
+
     if let Some(addr) = daemon {
         if positional.get(2).is_some() {
             return Err(Failure::new(2, "an output path does not apply with --daemon"));
         }
-        let code = run_daemon(&addr, &selected, budget, slicing)?;
+        let code = run_daemon(&addr, &selected, budget, &spec)?;
         return Ok(code);
     }
 
@@ -254,9 +311,7 @@ fn run(args: &[String]) -> Result<u8, Failure> {
                     .unwrap_or_else(|| format!("{name}.slices"));
                 let par = Parallelism::new(threads);
                 Box::new(move |_id| {
-                    JobCompletion::Done(run_workload(
-                        &name, &program, budget, &path, par, stream, slicing, screening,
-                    ))
+                    JobCompletion::Done(run_workload(&name, &program, spec, &path, par))
                 })
             };
             retry_with_backoff(Backoff::new(2, 200, idx as u64), 3_000, || {
@@ -300,6 +355,76 @@ fn run(args: &[String]) -> Result<u8, Failure> {
     Ok(first_bad)
 }
 
+/// The policy fields `--policy key=val,...` may set. `None` means "not
+/// given", so a dedicated flag can still supply the value — and so a
+/// flag/`--policy` contradiction is detectable.
+#[derive(Default)]
+struct PolicyOverrides {
+    slicing: Option<SlicingMode>,
+    screening: Option<bool>,
+    streaming: Option<bool>,
+    adaptive: Option<bool>,
+    threshold_permille: Option<u64>,
+    confirm: Option<u64>,
+    min_phase_chunks: Option<u64>,
+    deadline_ms: Option<u64>,
+}
+
+/// Parses one `--policy key=val[,key=val...]` argument into `pol`.
+/// Repeated keys (across entries or flags) keep the last value.
+fn parse_policy_overrides(v: &str, pol: &mut PolicyOverrides) -> Result<(), Failure> {
+    for kv in v.split(',') {
+        let (key, val) = kv.split_once('=').ok_or_else(|| {
+            Failure::new(2, format!("bad --policy entry `{kv}` (want key=value)"))
+        })?;
+        match key {
+            "slice_mode" => pol.slicing = Some(parse_slice_mode(val)?),
+            "screening" => pol.screening = Some(parse_policy_bool(key, val)?),
+            "streaming" => pol.streaming = Some(parse_policy_bool(key, val)?),
+            "adaptive" => pol.adaptive = Some(parse_policy_bool(key, val)?),
+            "threshold_permille" => {
+                pol.threshold_permille = Some(parse_policy_u64(key, val)?);
+            }
+            "confirm" => pol.confirm = Some(parse_policy_u64(key, val)?),
+            "min_phase_chunks" => pol.min_phase_chunks = Some(parse_policy_u64(key, val)?),
+            "deadline_ms" => pol.deadline_ms = Some(parse_policy_u64(key, val)?),
+            _ => return Err(Failure::new(2, format!("unknown --policy key `{key}`"))),
+        }
+    }
+    Ok(())
+}
+
+fn parse_policy_bool(key: &str, val: &str) -> Result<bool, Failure> {
+    match val {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        _ => Err(Failure::new(2, format!("--policy {key} wants true or false, got `{val}`"))),
+    }
+}
+
+fn parse_policy_u64(key: &str, val: &str) -> Result<u64, Failure> {
+    val.parse()
+        .map_err(|_| Failure::new(2, format!("--policy {key} wants a number, got `{val}`")))
+}
+
+/// Merges a dedicated flag's value with a `--policy` entry for the same
+/// key. Both given with different values is the typed policy
+/// contradiction (`config.conflicting_policy`, exit 2); otherwise
+/// whichever was given wins.
+fn merge_policy<T: PartialEq>(
+    key: &'static str,
+    flag: Option<T>,
+    policy: Option<T>,
+) -> Result<Option<T>, Failure> {
+    match (flag, policy) {
+        (Some(f), Some(p)) if f != p => {
+            let e = PipelineError::ConflictingPolicy { key };
+            Err(Failure::new(2, format!("{e} ({})", e.code())))
+        }
+        (f, p) => Ok(p.or(f)),
+    }
+}
+
 /// Parses a `--slice-mode` value: `windowed`, `ondemand`, or
 /// `ondemand:N` (checkpoint cadence; 0 means the default).
 fn parse_slice_mode(v: &str) -> Result<SlicingMode, Failure> {
@@ -318,6 +443,35 @@ fn parse_slice_mode(v: &str) -> Result<SlicingMode, Failure> {
         });
     }
     Err(Failure::new(2, format!("bad slice mode `{v}` (windowed or ondemand[:N])")))
+}
+
+/// The nested v6 `policy` submit object for daemon mode: the resolved
+/// [`PolicySpec`], every field explicit (no flat v5 spellings).
+fn policy_object(spec: &PolicySpec) -> Json {
+    let mut fields = Vec::new();
+    match spec.slicing {
+        SlicingMode::Windowed => fields.push(("slice_mode", Json::str("windowed"))),
+        SlicingMode::OnDemand { checkpoint_every } => {
+            fields.push(("slice_mode", Json::str("ondemand")));
+            fields.push(("checkpoint_every", Json::num_u64(checkpoint_every)));
+        }
+    }
+    fields.push(("screening", Json::Bool(spec.screening)));
+    fields.push(("streaming", Json::Bool(spec.streaming)));
+    let a = spec.adaptive;
+    fields.push((
+        "adaptive",
+        Json::obj(vec![
+            ("enabled", Json::Bool(a.enabled)),
+            ("threshold_permille", Json::num_u64(a.threshold_permille)),
+            ("confirm", Json::num_u64(a.confirm)),
+            ("min_phase_chunks", Json::num_u64(a.min_phase_chunks)),
+        ]),
+    ));
+    if let Some(ms) = spec.deadline_ms {
+        fields.push(("deadline_ms", Json::num_u64(ms)));
+    }
+    Json::obj(fields)
 }
 
 /// One connection to a preexecd, with the line-oriented request/response
@@ -366,7 +520,7 @@ fn run_daemon(
     addr: &str,
     selected: &[&Workload],
     budget: u64,
-    slicing: SlicingMode,
+    spec: &PolicySpec,
 ) -> Result<u8, Failure> {
     let mut conn = DaemonConn::connect(addr)?;
     let submit = Json::obj(vec![
@@ -377,15 +531,11 @@ fn run_daemon(
                 selected
                     .iter()
                     .map(|w| {
-                        let mut fields = vec![
+                        Json::obj(vec![
                             ("workload", Json::str(w.name)),
                             ("budget", Json::num_u64(budget)),
-                        ];
-                        if let SlicingMode::OnDemand { checkpoint_every } = slicing {
-                            fields.push(("slice_mode", Json::str("ondemand")));
-                            fields.push(("checkpoint_every", Json::num_u64(checkpoint_every)));
-                        }
-                        Json::obj(fields)
+                            ("policy", policy_object(spec)),
+                        ])
                     })
                     .collect(),
             ),
@@ -541,39 +691,44 @@ fn print_profile() {
 }
 
 /// Runs one workload end to end (pass 1 trace+write, pass 2
-/// read+select), entirely into the report's buffers.
-#[allow(clippy::too_many_arguments)]
+/// read+select), entirely into the report's buffers. An adaptive spec
+/// runs the full phase-adaptive pipeline first and prints its
+/// deterministic per-phase policy report; the global forest written to
+/// disk (and therefore pass 2) is byte-identical either way.
 fn run_workload(
     name: &str,
     program: &preexec_isa::Program,
-    budget: u64,
+    spec: PolicySpec,
     path: &str,
     par: Parallelism,
-    stream: bool,
-    slicing: SlicingMode,
-    screening: bool,
 ) -> JobReport {
     let mut report = JobReport::default();
     // Pass 1 (expensive, once): trace and slice, write the file. The
-    // builder defaults match the paper toolflow (scope 1024, slice len
-    // 32); `--stream` swaps in the bounded-memory transport and
-    // `--slice-mode ondemand` the checkpointed re-execution path, both
-    // with byte-identical forests.
-    let arts = match Pipeline::new(program)
-        .budget(budget)
-        .parallelism(par)
-        .streaming(stream)
-        .slicing_mode(slicing)
-        .trace()
-    {
-        Ok(x) => x,
-        Err(e) => {
-            let _ = writeln!(report.stderr, "toolflow: tracing {name}: {e}");
-            report.code = 5;
-            return report;
-        }
+    // spec defaults match the paper toolflow (scope 1024, slice len
+    // 32); `streaming` swaps in the bounded-memory transport and
+    // `ondemand` slicing the checkpointed re-execution path, both with
+    // byte-identical forests.
+    let (forest, stats, adaptive) = if spec.adaptive.enabled {
+        let out = match Pipeline::new(program).policy(spec).parallelism(par).run() {
+            Ok(x) => x,
+            Err(e) => {
+                let _ = writeln!(report.stderr, "toolflow: running {name}: {e}");
+                report.code = 5;
+                return report;
+            }
+        };
+        (out.forest, out.result.stats, out.adaptive)
+    } else {
+        let arts = match Pipeline::new(program).policy(spec).parallelism(par).trace() {
+            Ok(x) => x,
+            Err(e) => {
+                let _ = writeln!(report.stderr, "toolflow: tracing {name}: {e}");
+                report.code = 5;
+                return report;
+            }
+        };
+        (arts.forest, arts.stats, None)
     };
-    let (forest, stats) = (arts.forest, arts.stats);
     if let Err(e) = std::fs::write(path, write_forest(&forest)) {
         let _ = writeln!(report.stderr, "toolflow: writing {path}: {e}");
         report.code = 3;
@@ -586,11 +741,38 @@ fn run_workload(
         stats.l2_misses,
         forest.num_trees()
     );
+    if let Some(rep) = &adaptive {
+        for ph in &rep.phases {
+            let _ = writeln!(
+                report.stdout,
+                "  phase {}: {} insts, {} L2 misses -> {} ({} p-threads, \
+                 payoff {:.3} vs static {:.3})",
+                ph.index,
+                ph.insts,
+                ph.l2_misses,
+                ph.policy,
+                ph.pthreads,
+                ph.payoff,
+                ph.static_payoff,
+            );
+        }
+        let _ = writeln!(
+            report.stdout,
+            "  adaptive: {}/{} phases diverge from static; {} p-threads \
+             (static {}), payoff {:.3} vs {:.3}",
+            rep.divergent_phases,
+            rep.phases.len(),
+            rep.adaptive_pthreads,
+            rep.static_pthreads,
+            rep.adaptive_payoff,
+            rep.static_payoff,
+        );
+    }
 
     // Pass 2 (cheap, many times): read the file back and select p-thread
     // sets for several configurations.
     match std::fs::read_to_string(path) {
-        Ok(text) => read_and_select(path, &text, par, screening, &mut report),
+        Ok(text) => read_and_select(path, &text, par, spec.screening, &mut report),
         Err(e) => {
             let _ = writeln!(report.stderr, "toolflow: reading {path}: {e}");
             report.code = 3;

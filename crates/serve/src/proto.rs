@@ -9,7 +9,7 @@
 //!
 //! | `cmd` | fields | response payload |
 //! |-------|--------|------------------|
-//! | `submit` | `workload` (required), `input`, `budget`, `warmup`, `scope`, `max_slice_len`, `max_pthread_len`, `optimize`, `merge`, `width`, `mem_latency`, `model_miss_latency`, `model_width`, `slice_mode` (`"windowed"`/`"ondemand"`), `checkpoint_every`, `deadline_ms` | `job` id |
+//! | `submit` | `workload` (required), `input`, `budget`, `warmup`, `scope`, `max_slice_len`, `max_pthread_len`, `optimize`, `merge`, `width`, `mem_latency`, `model_miss_latency`, `model_width`, plus a nested `policy` object (`slice_mode`, `checkpoint_every`, `screening`, `streaming`, `adaptive`, `deadline_ms`) | `job` id (+ `deprecated_fields` when flat v5 policy fields were used) |
 //! | `submit_batch` | `jobs`: a non-empty array of submit objects | `jobs`: array of ids, in order |
 //! | `status` | `job` | `state` (+ `error` when failed) |
 //! | `result` | `job` | `state`, `cache_hit`, `result{...}` |
@@ -36,6 +36,16 @@
 //! `mem_latency` override the corresponding [`MachineParams`] fields,
 //! the `model_*` fields the selection model's cross-validation knobs.
 //!
+//! Policy fields (slicing mode, screening, streaming, adaptive
+//! selection, deadline) live in the nested `policy` object since
+//! version 6. The flat v5 spellings `slice_mode`, `checkpoint_every`,
+//! and `deadline_ms` still parse through a compat shim: their use is
+//! echoed back in the submit response's `deprecated_fields` array, and
+//! a flat field that contradicts the nested object is rejected with
+//! code `config.conflicting_policy`. Journals written by a v5 daemon
+//! replay unchanged — recovery re-parses the journaled spec through
+//! the same shim.
+//!
 //! [`MachineParams`]: preexec_timing::MachineParams
 
 use crate::cache::parse_input;
@@ -43,7 +53,10 @@ use crate::json::Json;
 use crate::scheduler::{JobId, SubmitError};
 use crate::service::{JobOutput, JobSpec};
 use preexec_experiments::pipeline::pct;
-use preexec_experiments::{PipelineConfig, PipelineError, SlicingMode, DEFAULT_CHECKPOINT_EVERY};
+use preexec_experiments::{
+    AdaptiveConfig, PipelineConfig, PipelineError, PolicySpec, SlicingMode,
+    DEFAULT_CHECKPOINT_EVERY,
+};
 use preexec_workloads::InputSet;
 use std::fmt;
 
@@ -56,8 +69,12 @@ use std::fmt;
 /// (pipelining), the `submit_batch` verb, and the `cache_get`/
 /// `cache_put` shard-peer verbs; version 5 added the `slice_mode` /
 /// `checkpoint_every` submit fields and the `config.scope_too_large`
-/// admission rejection for scopes past the per-mode caps.
-pub const PROTOCOL_VERSION: u64 = 5;
+/// admission rejection for scopes past the per-mode caps; version 6
+/// added the nested `policy` submit object (screening, streaming,
+/// adaptive selection), the `deprecated_fields` response note for the
+/// flat v5 policy spellings, and the `config.conflicting_policy`
+/// rejection when flat and nested values disagree.
+pub const PROTOCOL_VERSION: u64 = 6;
 
 /// Largest slicing scope admitted in `"windowed"` mode: the sliding
 /// window keeps the whole scope resident, so past this the daemon would
@@ -445,32 +462,143 @@ pub(crate) fn parse_submit(json: &Json) -> Result<JobSpec, ProtoError> {
     // Reject bad configurations at the door: a queued job that can only
     // fail wastes a worker slot and hides the mistake from the client.
     cfg.try_validate().map_err(ProtoError::Config)?;
-    let slice_mode = parse_slice_mode(json)?;
-    check_scope_cap(cfg.scope as u64, slice_mode)?;
+
+    // Flat v5 policy spellings (compat shim): still parsed, but their
+    // use is recorded so the response can carry the deprecation note.
+    let mut deprecated = Vec::new();
+    for field in ["slice_mode", "checkpoint_every", "deadline_ms"] {
+        if json.get(field).is_some_and(|v| !matches!(v, Json::Null)) {
+            deprecated.push(field);
+        }
+    }
+    let flat_slicing = parse_slice_mode(json)?;
+    let flat_deadline = opt_u64(json, "deadline_ms")?;
+    let nested = parse_policy_object(json)?;
+
+    // Flat and nested may restate the same value; naming *different*
+    // values for one key is a contradiction the client must resolve.
+    let slicing = match (flat_slicing, nested.slicing) {
+        (Some(f), Some(n)) if f != n => {
+            let key = match (f, n) {
+                (SlicingMode::OnDemand { .. }, SlicingMode::OnDemand { .. }) => {
+                    "checkpoint_every"
+                }
+                _ => "slice_mode",
+            };
+            return Err(ProtoError::Config(PipelineError::ConflictingPolicy { key }));
+        }
+        (f, n) => n.or(f).unwrap_or(SlicingMode::Windowed),
+    };
+    let deadline_ms = match (flat_deadline, nested.deadline_ms) {
+        (Some(f), Some(n)) if f != n => {
+            return Err(ProtoError::Config(PipelineError::ConflictingPolicy {
+                key: "deadline_ms",
+            }));
+        }
+        (f, n) => n.or(f),
+    };
+
+    let mut policy = PolicySpec { cfg, slicing, deadline_ms, ..PolicySpec::default() };
+    if let Some(x) = nested.screening {
+        policy.screening = x;
+    }
+    if let Some(x) = nested.streaming {
+        policy.streaming = x;
+    }
+    if let Some(x) = nested.adaptive {
+        policy.adaptive = x;
+    }
+    policy.try_validate().map_err(ProtoError::Config)?;
+    check_scope_cap(cfg.scope as u64, slicing)?;
     let mut spec =
         JobSpec::new(workload, input, cfg).map_err(ProtoError::UnknownWorkload)?;
-    spec.slice_mode = slice_mode;
-    spec.deadline_ms = opt_u64(json, "deadline_ms")?;
+    spec.policy = policy;
+    spec.deprecated_fields = deprecated;
     Ok(spec)
 }
 
-/// Parses the optional `slice_mode` (`"windowed"` default, or
-/// `"ondemand"`) and `checkpoint_every` submit fields.
-fn parse_slice_mode(json: &Json) -> Result<SlicingMode, ProtoError> {
+/// The policy fields a submit may carry in the nested v6 `policy`
+/// object; `None` means "not given" (distinct from any default, so the
+/// flat-vs-nested conflict check can tell silence from agreement).
+#[derive(Default)]
+struct PolicyFields {
+    slicing: Option<SlicingMode>,
+    screening: Option<bool>,
+    streaming: Option<bool>,
+    deadline_ms: Option<u64>,
+    adaptive: Option<AdaptiveConfig>,
+}
+
+/// Parses the nested v6 `policy` submit object. Absent or null yields
+/// all-`None` fields (the v5 flat shim then supplies any values).
+fn parse_policy_object(json: &Json) -> Result<PolicyFields, ProtoError> {
+    let obj = match json.get("policy") {
+        None | Some(Json::Null) => return Ok(PolicyFields::default()),
+        Some(v @ Json::Obj(_)) => v,
+        Some(_) => {
+            return Err(ProtoError::BadField { field: "policy", expected: "an object" })
+        }
+    };
+    Ok(PolicyFields {
+        slicing: parse_slice_mode(obj)?,
+        screening: opt_bool(obj, "screening")?,
+        streaming: opt_bool(obj, "streaming")?,
+        deadline_ms: opt_u64(obj, "deadline_ms")?,
+        adaptive: parse_adaptive(obj)?,
+    })
+}
+
+/// Parses the `adaptive` field of a `policy` object: `true`/`false`
+/// toggles the default detector knobs, an object overrides them.
+fn parse_adaptive(obj: &Json) -> Result<Option<AdaptiveConfig>, ProtoError> {
+    match obj.get("adaptive") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Bool(b)) => {
+            Ok(Some(AdaptiveConfig { enabled: *b, ..AdaptiveConfig::default() }))
+        }
+        Some(v @ Json::Obj(_)) => {
+            let mut a = AdaptiveConfig {
+                enabled: opt_bool(v, "enabled")?.unwrap_or(true),
+                ..AdaptiveConfig::default()
+            };
+            if let Some(x) = opt_u64(v, "threshold_permille")? {
+                a.threshold_permille = x;
+            }
+            if let Some(x) = opt_u64(v, "confirm")? {
+                a.confirm = x;
+            }
+            if let Some(x) = opt_u64(v, "min_phase_chunks")? {
+                a.min_phase_chunks = x;
+            }
+            Ok(Some(a))
+        }
+        Some(_) => Err(ProtoError::BadField {
+            field: "adaptive",
+            expected: "a boolean or an object",
+        }),
+    }
+}
+
+/// Parses an optional `slice_mode` (`"windowed"` or `"ondemand"`) plus
+/// `checkpoint_every` pair from `obj` — used both for the flat v5
+/// submit fields and inside the nested `policy` object. `None` means
+/// the mode was not given (a bare `checkpoint_every` is ignored, as in
+/// v5).
+fn parse_slice_mode(obj: &Json) -> Result<Option<SlicingMode>, ProtoError> {
     let expected = r#""windowed" or "ondemand""#;
-    let name = match json.get("slice_mode") {
-        None | Some(Json::Null) => return Ok(SlicingMode::Windowed),
+    let name = match obj.get("slice_mode") {
+        None | Some(Json::Null) => return Ok(None),
         Some(v) => v
             .as_str()
             .ok_or(ProtoError::BadField { field: "slice_mode", expected })?,
     };
     match name {
-        "windowed" => Ok(SlicingMode::Windowed),
-        "ondemand" => Ok(SlicingMode::OnDemand {
-            checkpoint_every: opt_u64(json, "checkpoint_every")?
+        "windowed" => Ok(Some(SlicingMode::Windowed)),
+        "ondemand" => Ok(Some(SlicingMode::OnDemand {
+            checkpoint_every: opt_u64(obj, "checkpoint_every")?
                 .unwrap_or(DEFAULT_CHECKPOINT_EVERY)
                 .max(1),
-        }),
+        })),
         _ => Err(ProtoError::BadField { field: "slice_mode", expected }),
     }
 }
@@ -493,7 +621,7 @@ fn check_scope_cap(scope: u64, mode: SlicingMode) -> Result<(), ProtoError> {
 /// journal's `spec` payload. Round-trip exactness is what lets a
 /// restarted daemon re-run the job byte-identically.
 pub fn spec_json(spec: &JobSpec) -> Json {
-    let cfg = &spec.cfg;
+    let cfg = &spec.policy.cfg;
     let mut fields = vec![
         ("workload", Json::str(spec.workload_name.clone())),
         ("input", Json::str(crate::cache::input_name(spec.input))),
@@ -513,14 +641,34 @@ pub fn spec_json(spec: &JobSpec) -> Json {
     if let Some(x) = cfg.model_width {
         fields.push(("model_width", Json::Num(x)));
     }
-    match spec.slice_mode {
+    fields.push(("policy", policy_json(&spec.policy)));
+    Json::obj(fields)
+}
+
+/// The canonical nested `policy` object: every field explicit, fixed
+/// order, no flat v5 spellings — what the journal persists.
+fn policy_json(p: &PolicySpec) -> Json {
+    let mut fields = Vec::new();
+    match p.slicing {
         SlicingMode::Windowed => fields.push(("slice_mode", Json::str("windowed"))),
         SlicingMode::OnDemand { checkpoint_every } => {
             fields.push(("slice_mode", Json::str("ondemand")));
             fields.push(("checkpoint_every", Json::num_u64(checkpoint_every)));
         }
     }
-    if let Some(ms) = spec.deadline_ms {
+    fields.push(("screening", Json::Bool(p.screening)));
+    fields.push(("streaming", Json::Bool(p.streaming)));
+    let a = p.adaptive;
+    fields.push((
+        "adaptive",
+        Json::obj(vec![
+            ("enabled", Json::Bool(a.enabled)),
+            ("threshold_permille", Json::num_u64(a.threshold_permille)),
+            ("confirm", Json::num_u64(a.confirm)),
+            ("min_phase_chunks", Json::num_u64(a.min_phase_chunks)),
+        ]),
+    ));
+    if let Some(ms) = p.deadline_ms {
         fields.push(("deadline_ms", Json::num_u64(ms)));
     }
     Json::obj(fields)
@@ -644,15 +792,19 @@ mod tests {
         };
         assert_eq!(spec.workload_name, "mcf");
         assert_eq!(spec.input, InputSet::Test);
-        assert_eq!(spec.cfg.budget, 50_000);
-        assert_eq!(spec.cfg.warmup, 12_500, "warmup defaults to budget/4");
-        assert_eq!(spec.cfg.machine.width, 4);
-        assert_eq!(spec.cfg.machine.mem_latency, 140);
-        assert!(!spec.cfg.optimize);
-        assert_eq!(spec.cfg.model_width, Some(6.5));
-        // Defaults match the paper configuration.
-        assert_eq!(spec.cfg.scope, 1024);
-        assert_eq!(spec.cfg.max_pthread_len, 32);
+        assert_eq!(spec.policy.cfg.budget, 50_000);
+        assert_eq!(spec.policy.cfg.warmup, 12_500, "warmup defaults to budget/4");
+        assert_eq!(spec.policy.cfg.machine.width, 4);
+        assert_eq!(spec.policy.cfg.machine.mem_latency, 140);
+        assert!(!spec.policy.cfg.optimize);
+        assert_eq!(spec.policy.cfg.model_width, Some(6.5));
+        // Defaults match the paper configuration; the policy defaults
+        // are static (no adaptive selection, no deadline).
+        assert_eq!(spec.policy.cfg.scope, 1024);
+        assert_eq!(spec.policy.cfg.max_pthread_len, 32);
+        assert!(!spec.policy.adaptive.enabled);
+        assert_eq!(spec.policy.deadline_ms, None);
+        assert!(spec.deprecated_fields.is_empty(), "no flat v5 policy fields used");
     }
 
     #[test]
@@ -835,7 +987,7 @@ mod tests {
             let Ok(Request::Submit(spec)) = parse_request(line) else {
                 panic!("`{line}` must parse");
             };
-            assert_eq!(spec.slice_mode, SlicingMode::Windowed, "{line}");
+            assert_eq!(spec.policy.slicing, SlicingMode::Windowed, "{line}");
         }
         // On-demand defaults its cadence; an explicit one sticks, and a
         // zero cadence is clamped to 1 at the door.
@@ -845,21 +997,22 @@ mod tests {
             panic!("ondemand must parse");
         };
         assert_eq!(
-            spec.slice_mode,
+            spec.policy.slicing,
             SlicingMode::OnDemand { checkpoint_every: DEFAULT_CHECKPOINT_EVERY }
         );
+        assert_eq!(spec.deprecated_fields, vec!["slice_mode"]);
         let Ok(Request::Submit(spec)) = parse_request(
             r#"{"cmd":"submit","workload":"mcf","slice_mode":"ondemand","checkpoint_every":512}"#,
         ) else {
             panic!("explicit cadence must parse");
         };
-        assert_eq!(spec.slice_mode, SlicingMode::OnDemand { checkpoint_every: 512 });
+        assert_eq!(spec.policy.slicing, SlicingMode::OnDemand { checkpoint_every: 512 });
         let Ok(Request::Submit(spec)) = parse_request(
             r#"{"cmd":"submit","workload":"mcf","slice_mode":"ondemand","checkpoint_every":0}"#,
         ) else {
             panic!("zero cadence must parse");
         };
-        assert_eq!(spec.slice_mode, SlicingMode::OnDemand { checkpoint_every: 1 });
+        assert_eq!(spec.policy.slicing, SlicingMode::OnDemand { checkpoint_every: 1 });
         // Junk modes are typed field errors.
         for line in [
             r#"{"cmd":"submit","workload":"mcf","slice_mode":"turbo"}"#,
@@ -916,8 +1069,9 @@ mod tests {
         };
         let encoded = spec_json(&spec);
         let back = parse_submit(&encoded).expect("round-trip parses");
-        assert_eq!(back.slice_mode, SlicingMode::OnDemand { checkpoint_every: 2048 });
-        assert_eq!(back.cfg.scope, 100_000_000);
+        assert_eq!(back.policy.slicing, SlicingMode::OnDemand { checkpoint_every: 2048 });
+        assert_eq!(back.policy.cfg.scope, 100_000_000);
+        assert!(back.deprecated_fields.is_empty(), "canonical form is v6-native");
         assert_eq!(spec_json(&back).encode(), encoded.encode());
     }
 
@@ -929,17 +1083,195 @@ mod tests {
         let Ok(Request::Submit(spec)) = parse_request(line) else {
             panic!("parses");
         };
-        assert_eq!(spec.deadline_ms, Some(8000));
+        assert_eq!(spec.policy.deadline_ms, Some(8000));
+        assert_eq!(spec.deprecated_fields, vec!["deadline_ms"]);
         let encoded = spec_json(&spec);
         let back = parse_submit(&encoded).expect("round-trip parses");
         assert_eq!(back.workload_name, spec.workload_name);
         assert_eq!(back.input, spec.input);
-        assert_eq!(back.cfg.budget, spec.cfg.budget);
-        assert_eq!(back.cfg.machine.width, spec.cfg.machine.width);
-        assert_eq!(back.cfg.model_width, spec.cfg.model_width);
-        assert_eq!(back.cfg.optimize, spec.cfg.optimize);
-        assert_eq!(back.deadline_ms, spec.deadline_ms);
+        assert_eq!(back.policy.cfg.budget, spec.policy.cfg.budget);
+        assert_eq!(back.policy.cfg.machine.width, spec.policy.cfg.machine.width);
+        assert_eq!(back.policy.cfg.model_width, spec.policy.cfg.model_width);
+        assert_eq!(back.policy.cfg.optimize, spec.policy.cfg.optimize);
+        assert_eq!(back.policy, spec.policy, "the whole policy survives the journal");
         // A second encode is byte-identical: the canonical spec form.
         assert_eq!(spec_json(&back).encode(), encoded.encode());
+    }
+
+    #[test]
+    fn nested_policy_object_parses_every_field() {
+        let line = r#"{"cmd":"submit","workload":"mcf","policy":{
+            "slice_mode":"windowed",
+            "screening":false,"streaming":true,"deadline_ms":9000,
+            "adaptive":{"enabled":true,"threshold_permille":400,
+                        "confirm":3,"min_phase_chunks":5}}}"#;
+        let Ok(Request::Submit(spec)) = parse_request(line) else {
+            panic!("v6 policy submit must parse");
+        };
+        assert_eq!(spec.policy.slicing, SlicingMode::Windowed);
+        assert!(!spec.policy.screening);
+        assert!(spec.policy.streaming);
+        assert_eq!(spec.policy.deadline_ms, Some(9000));
+        assert_eq!(
+            spec.policy.adaptive,
+            AdaptiveConfig {
+                enabled: true,
+                threshold_permille: 400,
+                confirm: 3,
+                min_phase_chunks: 5,
+            }
+        );
+        assert!(spec.deprecated_fields.is_empty(), "nested fields are v6-native");
+    }
+
+    #[test]
+    fn v5_flat_fields_still_parse_and_carry_the_deprecation_note() {
+        let line = r#"{"cmd":"submit","workload":"mcf",
+            "slice_mode":"ondemand","checkpoint_every":256,"deadline_ms":9000}"#;
+        let Ok(Request::Submit(spec)) = parse_request(line) else {
+            panic!("v5 flat submit must parse");
+        };
+        assert_eq!(spec.policy.slicing, SlicingMode::OnDemand { checkpoint_every: 256 });
+        assert_eq!(spec.policy.deadline_ms, Some(9000));
+        assert_eq!(
+            spec.deprecated_fields,
+            vec!["slice_mode", "checkpoint_every", "deadline_ms"]
+        );
+        // The journal re-encode of a v5 submit is the canonical v6
+        // shape, and replaying it drops the deprecation note.
+        let back = parse_submit(&spec_json(&spec)).expect("replay parses");
+        assert_eq!(back.policy, spec.policy);
+        assert!(back.deprecated_fields.is_empty());
+    }
+
+    #[test]
+    fn flat_and_nested_conflicts_are_rejected_with_the_typed_code() {
+        for (line, key) in [
+            (
+                r#"{"cmd":"submit","workload":"mcf","slice_mode":"windowed",
+                    "policy":{"slice_mode":"ondemand"}}"#,
+                "slice_mode",
+            ),
+            (
+                r#"{"cmd":"submit","workload":"mcf","slice_mode":"ondemand",
+                    "checkpoint_every":128,
+                    "policy":{"slice_mode":"ondemand","checkpoint_every":256}}"#,
+                "checkpoint_every",
+            ),
+            (
+                r#"{"cmd":"submit","workload":"mcf","deadline_ms":1000,
+                    "policy":{"deadline_ms":2000}}"#,
+                "deadline_ms",
+            ),
+        ] {
+            let Err(e) = parse_request(line) else { panic!("`{line}` must be rejected") };
+            assert_eq!(e.code(), "config.conflicting_policy", "`{line}`");
+            assert!(e.to_string().contains(key), "`{line}` → {e}");
+        }
+        // Restating the *same* value in both shapes is fine.
+        let line = r#"{"cmd":"submit","workload":"mcf","deadline_ms":1000,
+            "slice_mode":"windowed",
+            "policy":{"slice_mode":"windowed","deadline_ms":1000}}"#;
+        let Ok(Request::Submit(spec)) = parse_request(line) else {
+            panic!("agreeing values must parse");
+        };
+        assert_eq!(spec.policy.deadline_ms, Some(1000));
+        // The flat spellings still earn the deprecation note.
+        assert_eq!(spec.deprecated_fields, vec!["slice_mode", "deadline_ms"]);
+    }
+
+    #[test]
+    fn adaptive_policy_round_trips_and_rejects_bad_shapes() {
+        // Boolean shorthand takes the detector defaults.
+        let line = r#"{"cmd":"submit","workload":"mcf","policy":{"adaptive":true}}"#;
+        let Ok(Request::Submit(spec)) = parse_request(line) else {
+            panic!("adaptive shorthand must parse");
+        };
+        assert!(spec.policy.adaptive.enabled);
+        assert_eq!(spec.policy.adaptive, AdaptiveConfig {
+            enabled: true,
+            ..AdaptiveConfig::default()
+        });
+        // The journal round-trip preserves the adaptive knobs exactly.
+        let encoded = spec_json(&spec);
+        let back = parse_submit(&encoded).expect("replay parses");
+        assert_eq!(back.policy, spec.policy);
+        assert_eq!(spec_json(&back).encode(), encoded.encode());
+
+        // Adaptive + on-demand slicing is a policy contradiction.
+        let line = r#"{"cmd":"submit","workload":"mcf",
+            "policy":{"slice_mode":"ondemand","adaptive":true}}"#;
+        let Err(e) = parse_request(line) else { panic!("adaptive+ondemand must fail") };
+        assert_eq!(e.code(), "config.conflicting_policy");
+
+        // Zero detector knobs are rejected by the policy validator.
+        let line = r#"{"cmd":"submit","workload":"mcf",
+            "policy":{"adaptive":{"confirm":0}}}"#;
+        let Err(e) = parse_request(line) else { panic!("zero confirm must fail") };
+        assert_eq!(e.code(), "config.bad_adaptive");
+
+        // Mistyped policy / adaptive shapes are field errors.
+        for line in [
+            r#"{"cmd":"submit","workload":"mcf","policy":7}"#,
+            r#"{"cmd":"submit","workload":"mcf","policy":{"adaptive":"yes"}}"#,
+        ] {
+            let Err(e) = parse_request(line) else { panic!("`{line}` must be rejected") };
+            assert_eq!(e.code(), "bad_field", "`{line}`");
+        }
+    }
+
+    /// A valid [`PolicySpec`] generator: any slicing mode, screening /
+    /// streaming toggles, deadline, and adaptive knobs — constrained
+    /// only by the spec's own validity rules (knobs ≥ 1; adaptive
+    /// implies windowed slicing).
+    fn policy_strategy() -> impl proptest::strategy::Strategy<Value = PolicySpec> {
+        use proptest::prelude::*;
+        (
+            1_000u64..200_000,
+            prop_oneof![
+                Just(SlicingMode::Windowed),
+                (1u64..10_000)
+                    .prop_map(|checkpoint_every| SlicingMode::OnDemand { checkpoint_every }),
+            ],
+            any::<bool>(),
+            any::<bool>(),
+            prop_oneof![
+                Just(None),
+                (1u64..1_000_000).prop_map(Some),
+            ],
+            (any::<bool>(), 1u64..2_000, 1u64..8, 1u64..16),
+        )
+            .prop_map(|(budget, slicing, screening, streaming, deadline_ms, a)| {
+                let (enabled, threshold_permille, confirm, min_phase_chunks) = a;
+                let adaptive =
+                    AdaptiveConfig { enabled, threshold_permille, confirm, min_phase_chunks };
+                let mut spec = PolicySpec::paper_default(budget);
+                // Adaptive selection requires the windowed streaming
+                // path; respect the validity rule the daemon enforces.
+                spec.slicing = if enabled { SlicingMode::Windowed } else { slicing };
+                spec.screening = screening;
+                spec.streaming = streaming;
+                spec.adaptive = adaptive;
+                spec.deadline_ms = deadline_ms;
+                spec
+            })
+    }
+
+    proptest::proptest! {
+        /// Any valid policy survives the client → daemon → WAL → replay
+        /// chain unchanged: `spec_json` is the WAL shape, `parse_submit`
+        /// the replay entry point, and one round reaches the canonical
+        /// byte-stable form.
+        #[test]
+        fn any_policy_survives_the_wal_round_trip(policy in policy_strategy()) {
+            let mut spec =
+                JobSpec::new("mcf", InputSet::Train, policy.cfg).expect("known workload");
+            spec.policy = policy;
+            let encoded = spec_json(&spec);
+            let back = parse_submit(&encoded).expect("journaled spec replays");
+            proptest::prop_assert_eq!(back.policy, spec.policy);
+            proptest::prop_assert!(back.deprecated_fields.is_empty());
+            proptest::prop_assert_eq!(spec_json(&back).encode(), encoded.encode());
+        }
     }
 }

@@ -493,7 +493,7 @@ fn replay_journal(shared: &Arc<Shared>, replay: &JournalReplay) -> (u64, u64) {
     for (id, spec_json) in replay.pending() {
         match crate::proto::parse_submit(spec_json) {
             Ok(spec) => {
-                let token = Arc::new(CancelToken::new(spec.deadline_ms));
+                let token = Arc::new(CancelToken::new(spec.policy.deadline_ms));
                 lock(&shared.tokens).insert(id, Arc::clone(&token));
                 if shared.sched.submit_replayed(id, shared.job_fn(spec, token)).is_ok() {
                     replayed += 1;
@@ -611,6 +611,15 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
     with_request_id(resp, id)
 }
 
+/// The `deprecated_fields` response note: the flat v5 policy spellings
+/// a submit used, or `None` (no note) for v6-native submits.
+fn deprecated_fields_json(fields: &[&'static str]) -> Option<Json> {
+    if fields.is_empty() {
+        return None;
+    }
+    Some(Json::Arr(fields.iter().map(|f| Json::str(*f)).collect()))
+}
+
 /// Executes one parsed request.
 fn dispatch_request(req: Request, shared: &Arc<Shared>) -> Json {
     match req {
@@ -626,7 +635,8 @@ fn dispatch_request(req: Request, shared: &Arc<Shared>) -> Json {
                 return error_response(&ProtoError::Overloaded(over));
             }
             let journaled_spec = spec_json(&spec);
-            let token = Arc::new(CancelToken::new(spec.deadline_ms));
+            let deprecated = deprecated_fields_json(&spec.deprecated_fields);
+            let token = Arc::new(CancelToken::new(spec.policy.deadline_ms));
             match shared.sched.submit(shared.job_fn(*spec, Arc::clone(&token))) {
                 Ok(id) => {
                     lock(&shared.tokens).insert(id, token);
@@ -644,7 +654,11 @@ fn dispatch_request(req: Request, shared: &Arc<Shared>) -> Json {
                     if let Some(j) = &shared.journal {
                         j.submit(id, &journaled_spec);
                     }
-                    ok_response(vec![("job", Json::num_u64(id))])
+                    let mut fields = vec![("job", Json::num_u64(id))];
+                    if let Some(note) = deprecated {
+                        fields.push(("deprecated_fields", note));
+                    }
+                    ok_response(fields)
                 }
                 Err(e) => error_response(&ProtoError::from(e)),
             }
@@ -791,10 +805,21 @@ fn dispatch_request(req: Request, shared: &Arc<Shared>) -> Json {
                 return error_response(&ProtoError::Overloaded(over));
             }
             let journaled: Vec<Json> = specs.iter().map(spec_json).collect();
+            // One deprecation note for the whole batch: the union of the
+            // flat v5 spellings any of its jobs used, in first-use order.
+            let mut used: Vec<&'static str> = Vec::new();
+            for spec in &specs {
+                for f in &spec.deprecated_fields {
+                    if !used.contains(f) {
+                        used.push(f);
+                    }
+                }
+            }
+            let deprecated = deprecated_fields_json(&used);
             let mut tokens = Vec::with_capacity(specs.len());
             let mut jobs = Vec::with_capacity(specs.len());
             for spec in specs {
-                let token = Arc::new(CancelToken::new(spec.deadline_ms));
+                let token = Arc::new(CancelToken::new(spec.policy.deadline_ms));
                 tokens.push(Arc::clone(&token));
                 jobs.push(shared.job_fn(spec, token));
             }
@@ -811,10 +836,14 @@ fn dispatch_request(req: Request, shared: &Arc<Shared>) -> Json {
                             j.submit(id, spec);
                         }
                     }
-                    ok_response(vec![(
+                    let mut fields = vec![(
                         "jobs",
                         Json::Arr(ids.iter().map(|&id| Json::num_u64(id)).collect()),
-                    )])
+                    )];
+                    if let Some(note) = deprecated {
+                        fields.push(("deprecated_fields", note));
+                    }
+                    ok_response(fields)
                 }
                 Err(e) => error_response(&ProtoError::from(e)),
             }

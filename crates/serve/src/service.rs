@@ -21,13 +21,16 @@ use crate::shard::ShardedCache;
 use crate::histogram::{histogram_json, Histogram};
 use crate::scheduler::JobCompletion;
 use preexec_core::par::{ParStats, Parallelism};
-use preexec_experiments::{Pipeline, PipelineConfig, PipelineError, PipelineResult, SlicingMode};
+use preexec_experiments::{
+    Pipeline, PipelineConfig, PipelineError, PipelineResult, PolicySpec,
+};
 use preexec_workloads::{by_name, InputSet, Workload};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// A fully-resolved job: what to run and under which configuration.
+/// A fully-resolved job: what to run (workload, input) and the unified
+/// [`PolicySpec`] describing how to run it.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
     /// Suite name of the workload (resolved — guaranteed to exist).
@@ -36,20 +39,22 @@ pub struct JobSpec {
     pub workload: Workload,
     /// Input set to build the workload with.
     pub input: InputSet,
-    /// Full pipeline configuration (machine, model, budgets).
-    pub cfg: PipelineConfig,
-    /// How the trace stage extracts slices (windowed default). Not part
-    /// of the artifact-cache key: both modes produce bit-identical
-    /// forests, so a hit under either mode serves the other.
-    pub slice_mode: SlicingMode,
-    /// Optional wall-clock deadline: the job is cancelled at the first
-    /// stage boundary past this many milliseconds after admission (after
-    /// a crash, after *re*-admission — see [`CancelToken`]).
-    pub deadline_ms: Option<u64>,
+    /// The complete run policy: configuration, slicing mode, screening,
+    /// streaming, adaptive selection, and the wall-clock deadline — the
+    /// single source of truth the pipeline, the journal, and the wire
+    /// protocol all share. The slicing mode is not part of the
+    /// artifact-cache key: every mode produces bit-identical forests, so
+    /// a hit under one mode serves the others.
+    pub policy: PolicySpec,
+    /// Flat v5 submit fields this spec was built from (the protocol's
+    /// compat shim); echoed back as the `deprecated_fields` note in the
+    /// submit response. Empty for v6-native submits.
+    pub deprecated_fields: Vec<&'static str>,
 }
 
 impl JobSpec {
-    /// Resolves `workload_name` against the suite registry.
+    /// Resolves `workload_name` against the suite registry, with a
+    /// default policy carrying `cfg`.
     ///
     /// # Errors
     ///
@@ -65,9 +70,8 @@ impl JobSpec {
                 workload_name: workload_name.to_string(),
                 workload,
                 input,
-                cfg,
-                slice_mode: SlicingMode::Windowed,
-                deadline_ms: None,
+                policy: PolicySpec { cfg, ..PolicySpec::default() },
+                deprecated_fields: Vec::new(),
             }),
             None => {
                 let names: Vec<&str> =
@@ -82,13 +86,14 @@ impl JobSpec {
 
     /// The artifact-cache key of this job's trace stage.
     pub fn trace_key(&self) -> TraceKey {
+        let cfg = &self.policy.cfg;
         TraceKey {
             workload: self.workload_name.clone(),
             input: self.input,
-            scope: self.cfg.scope,
-            max_slice_len: self.cfg.max_slice_len,
-            budget: self.cfg.budget,
-            warmup: self.cfg.warmup,
+            scope: cfg.scope,
+            max_slice_len: cfg.max_slice_len,
+            budget: cfg.budget,
+            warmup: cfg.warmup,
         }
     }
 }
@@ -306,16 +311,13 @@ pub fn run_job(
             return JobCompletion::Cancelled(e);
         }
     }
-    if let Err(e) = spec.cfg.try_validate() {
+    if let Err(e) = spec.policy.try_validate() {
         return JobCompletion::Failed(e);
     }
     let program = spec.workload.build(spec.input);
     let key = spec.trace_key();
 
-    let mut pipe = Pipeline::new(&program)
-        .config(spec.cfg)
-        .parallelism(par)
-        .slicing_mode(spec.slice_mode);
+    let mut pipe = Pipeline::new(&program).policy(spec.policy).parallelism(par);
     // One gate serves both masters: the chaos harness's slow-stage
     // injector (inert without a plan) and the cancellation token.
     let gate_fn = move |stage: &'static str| {
@@ -328,13 +330,18 @@ pub fn run_job(
     if token.is_some() || crate::chaos::plan().slow_job_ms.is_some() {
         pipe = pipe.gate(&gate_fn);
     }
-    let cache_hit = match cache.load(&key) {
-        Some((forest, stats)) => {
-            pipe = pipe.artifacts(forest, stats);
-            true
-        }
-        None => false,
-    };
+    // Adaptive jobs bypass the artifact cache entirely: the trace key
+    // carries no adaptive dimension (a cached forest has no per-phase
+    // banks), and the adaptive pipeline rejects injected artifacts.
+    let cacheable = !spec.policy.adaptive.enabled;
+    let cache_hit = cacheable
+        && match cache.load(&key) {
+            Some((forest, stats)) => {
+                pipe = pipe.artifacts(forest, stats);
+                true
+            }
+            None => false,
+        };
     let out = match pipe.run() {
         Ok(out) => out,
         Err(
@@ -344,8 +351,10 @@ pub fn run_job(
     };
     if !cache_hit {
         hists.par.record_slice(&out.par.slice);
-        // A failed store only costs a future recompute.
-        let _ = cache.store(&key, &out.forest, &out.result.stats);
+        if cacheable {
+            // A failed store only costs a future recompute.
+            let _ = cache.store(&key, &out.forest, &out.result.stats);
+        }
     }
     hists.par.record_select(&out.par.select);
     let stage_us = StageMicros {
@@ -488,6 +497,36 @@ mod tests {
         assert!(!again.cache_hit, "corrupt entry must recompute");
         assert_eq!(again.result.base.cycles, first.result.base.cycles);
         assert_eq!(cache.local().stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adaptive_jobs_bypass_the_artifact_cache_and_stay_deterministic() {
+        let dir = tmp_dir("adaptive");
+        let (cache, _registry) = isolated_cache(&dir, 8);
+        let hists = StageHists::new();
+        let cfg = PipelineConfig::paper_default(40_000);
+        let mut spec = JobSpec::new("mcf", InputSet::Train, cfg).expect("spec");
+        spec.policy.adaptive = preexec_experiments::AdaptiveConfig {
+            enabled: true,
+            ..preexec_experiments::AdaptiveConfig::default()
+        };
+        let first = match run_job(&spec, &cache, &hists, Parallelism::serial(), None) {
+            JobCompletion::Done(out) => out,
+            other => panic!("first adaptive run: {:?}", other.state()),
+        };
+        assert!(!first.cache_hit);
+        let again = match run_job(&spec, &cache, &hists, Parallelism::new(2), None) {
+            JobCompletion::Done(out) => out,
+            other => panic!("second adaptive run: {:?}", other.state()),
+        };
+        assert!(!again.cache_hit, "adaptive jobs must not consult the cache");
+        assert_eq!(cache.local().stats().hits, 0);
+        assert_eq!(
+            format!("{:?}", first.result),
+            format!("{:?}", again.result),
+            "adaptive runs must be bit-identical at any thread count"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
